@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction benches:
+ * standard workload construction, device lists, and run helpers.
+ *
+ * Every bench prints the same rows/series the paper reports; the
+ * scale (tuples per table) can be overridden with the RCNVM_TUPLES
+ * environment variable.
+ */
+
+#ifndef RCNVM_BENCH_BENCH_COMMON_HH_
+#define RCNVM_BENCH_BENCH_COMMON_HH_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "util/logging.hh"
+#include "util/table_printer.hh"
+
+namespace rcnvm::bench {
+
+/** Tuples per benchmark table (override: RCNVM_TUPLES). */
+inline std::uint64_t
+benchTuples(std::uint64_t fallback = 131072)
+{
+    if (const char *env = std::getenv("RCNVM_TUPLES"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/** The four devices in the order the paper plots them. */
+inline const std::vector<mem::DeviceKind> &
+allDevices()
+{
+    static const std::vector<mem::DeviceKind> devices = {
+        mem::DeviceKind::RcNvm,
+        mem::DeviceKind::Rram,
+        mem::DeviceKind::GsDram,
+        mem::DeviceKind::Dram,
+    };
+    return devices;
+}
+
+/** The Q1..Q13 execution-time query set of Figures 18-21. */
+inline const std::vector<workload::QueryId> &
+sqlQueries()
+{
+    static const std::vector<workload::QueryId> ids = {
+        workload::QueryId::Q1,  workload::QueryId::Q2,
+        workload::QueryId::Q3,  workload::QueryId::Q4,
+        workload::QueryId::Q5,  workload::QueryId::Q6,
+        workload::QueryId::Q7,  workload::QueryId::Q8,
+        workload::QueryId::Q9,  workload::QueryId::Q10,
+        workload::QueryId::Q11, workload::QueryId::Q12,
+        workload::QueryId::Q13,
+    };
+    return ids;
+}
+
+/** Results of one query on every device. */
+struct QueryRow {
+    workload::QueryId id;
+    std::vector<core::ExperimentResult> byDevice; // allDevices order
+};
+
+/**
+ * Run the whole Q1-Q13 suite on all four devices and return the
+ * grid of results (the shared input of Figures 18, 19, 20, 21).
+ */
+inline std::vector<QueryRow>
+runSqlSuite(std::uint64_t tuples)
+{
+    util::setLogLevel(util::LogLevel::Quiet);
+    const workload::TableSet tables =
+        workload::TableSet::standard(tuples);
+    const workload::QueryWorkload workload(tables);
+
+    std::vector<QueryRow> rows;
+    for (const auto id : sqlQueries()) {
+        QueryRow row;
+        row.id = id;
+        for (const auto kind : allDevices()) {
+            row.byDevice.push_back(
+                core::runQuery(kind, workload, id));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** Shorthand for TablePrinter::num. */
+inline std::string
+num(double v, int precision = 2)
+{
+    return util::TablePrinter::num(v, precision);
+}
+
+} // namespace rcnvm::bench
+
+#endif // RCNVM_BENCH_BENCH_COMMON_HH_

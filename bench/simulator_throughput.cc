@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot
+ * paths: event queue throughput, address mapping, bank state
+ * machine, and end-to-end simulated-access rate. These guard
+ * against performance regressions of the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/machine.hh"
+#include "mem/bank.hh"
+#include "mem/geometry.hh"
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+using namespace rcnvm;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_AddressEncodeDecode(benchmark::State &state)
+{
+    const mem::AddressMap map(mem::Geometry::rcNvm());
+    mem::DecodedAddr d;
+    d.row = 437;
+    d.col = 182;
+    for (auto _ : state) {
+        const Addr a = map.encode(d, Orientation::Row);
+        benchmark::DoNotOptimize(
+            map.decode(a, Orientation::Row).col);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressEncodeDecode);
+
+void
+BM_AddressConvert(benchmark::State &state)
+{
+    const mem::AddressMap map(mem::Geometry::rcNvm());
+    Addr a = 0x12345678;
+    for (auto _ : state) {
+        a = map.convert(a, Orientation::Row, Orientation::Column);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressConvert);
+
+void
+BM_BankAccessStream(benchmark::State &state)
+{
+    const mem::TimingParams t = mem::TimingParams::rcNvm();
+    mem::Bank bank;
+    unsigned col = 0;
+    for (auto _ : state) {
+        const auto s =
+            bank.access(bank.nextReady(), Orientation::Column, 0,
+                        col++ & 1023, false, t);
+        benchmark::DoNotOptimize(s.finish);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankAccessStream);
+
+void
+BM_EndToEndSimulatedAccesses(benchmark::State &state)
+{
+    util::setLogLevel(util::LogLevel::Quiet);
+    cpu::MachineConfig config;
+    config.device = mem::DeviceKind::RcNvm;
+    cpu::AccessPlan plan;
+    for (unsigned i = 0; i < 4096; ++i)
+        plan.push_back(cpu::MemOp::load((Addr{i} * 64) & 0xffffffff));
+    for (auto _ : state) {
+        cpu::Machine machine(config);
+        benchmark::DoNotOptimize(machine.run(plan).ticks);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EndToEndSimulatedAccesses);
+
+} // namespace
+
+BENCHMARK_MAIN();

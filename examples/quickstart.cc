@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: build the benchmark database on RC-NVM and on DRAM,
+ * run an OLAP aggregation (Q6) and an OLTP select (Q2) on both, and
+ * print the headline comparison.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/system.hh"
+#include "util/logging.hh"
+#include "util/table_printer.hh"
+
+using namespace rcnvm;
+
+int
+main()
+{
+    util::setLogLevel(util::LogLevel::Quiet);
+
+    // A smaller database keeps the quickstart snappy.
+    core::RcNvmSystem::Options options;
+    options.tuples = 16384;
+
+    options.device = mem::DeviceKind::RcNvm;
+    core::RcNvmSystem rcnvm_sys(options);
+
+    options.device = mem::DeviceKind::Dram;
+    core::RcNvmSystem dram_sys(options);
+
+    std::cout << "RC-NVM placement: " << rcnvm_sys.binsUsed()
+              << " subarrays, "
+              << util::TablePrinter::num(
+                     100.0 * rcnvm_sys.packingUtilization(), 1)
+              << "% packing utilisation\n\n";
+
+    util::TablePrinter table("Quickstart: RC-NVM vs DRAM (Mcycles)");
+    table.addRow({"query", "RC-NVM", "DRAM", "speedup"});
+    for (const auto id : {workload::QueryId::Q2,
+                          workload::QueryId::Q6}) {
+        const auto &spec = workload::querySpec(id);
+        const auto rc = rcnvm_sys.runQuery(id);
+        const auto dram = dram_sys.runQuery(id);
+        table.addRow({spec.name,
+                      util::TablePrinter::num(rc.megacycles()),
+                      util::TablePrinter::num(dram.megacycles()),
+                      util::TablePrinter::num(dram.megacycles() /
+                                              rc.megacycles()) +
+                          "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSQL of Q6: " << workload::querySpec(
+                     workload::QueryId::Q6).sql << "\n";
+    return 0;
+}

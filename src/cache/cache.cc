@@ -1,0 +1,151 @@
+#include "cache/cache.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace rcnvm::cache {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), numSets_(config.numSets())
+{
+    if (!util::isPowerOfTwo(numSets_))
+        rcnvm_fatal(config_.name, ": set count must be a power of two");
+    lines_.resize(std::size_t{numSets_} * config_.ways);
+}
+
+unsigned
+Cache::setIndex(const LineKey &key) const
+{
+    return static_cast<unsigned>((key.addr / config_.lineBytes) %
+                                 numSets_);
+}
+
+CacheLine *
+Cache::find(const LineKey &key)
+{
+    const unsigned set = setIndex(key);
+    CacheLine *base = &lines_[std::size_t{set} * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        CacheLine &line = base[w];
+        if (line.valid() && line.tag == key.addr &&
+            line.orient == key.orient) {
+            line.lru = ++lruClock_;
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::probe(const LineKey &key) const
+{
+    const unsigned set = setIndex(key);
+    const CacheLine *base = &lines_[std::size_t{set} * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        const CacheLine &line = base[w];
+        if (line.valid() && line.tag == key.addr &&
+            line.orient == key.orient) {
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+std::optional<Cache::Victim>
+Cache::insert(const LineKey &key, MesiState state)
+{
+    const unsigned set = setIndex(key);
+    CacheLine *base = &lines_[std::size_t{set} * config_.ways];
+
+    // Reuse an existing entry or an invalid way when possible.
+    CacheLine *target = nullptr;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        CacheLine &line = base[w];
+        if (line.valid() && line.tag == key.addr &&
+            line.orient == key.orient) {
+            line.state = state;
+            line.lru = ++lruClock_;
+            return std::nullopt;
+        }
+        if (!line.valid() && !target)
+            target = &line;
+    }
+
+    std::optional<Victim> victim;
+    if (!target) {
+        // Evict the LRU non-pinned way; fall back to the LRU pinned
+        // way if the whole set is pinned (group over-subscription).
+        CacheLine *lru_unpinned = nullptr;
+        CacheLine *lru_any = nullptr;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            CacheLine &line = base[w];
+            if (!lru_any || line.lru < lru_any->lru)
+                lru_any = &line;
+            if (!line.pinned &&
+                (!lru_unpinned || line.lru < lru_unpinned->lru)) {
+                lru_unpinned = &line;
+            }
+        }
+        target = lru_unpinned ? lru_unpinned : lru_any;
+        if (!lru_unpinned)
+            ++pinnedEvictions_;
+
+        victim = Victim{target->key(), target->state, target->crossing};
+        if (target->orient == Orientation::Row)
+            --rowLines_;
+        else
+            --columnLines_;
+    }
+
+    target->tag = key.addr;
+    target->orient = key.orient;
+    target->state = state;
+    target->crossing = 0;
+    target->pinned = false;
+    target->lru = ++lruClock_;
+    if (key.orient == Orientation::Row)
+        ++rowLines_;
+    else
+        ++columnLines_;
+    return victim;
+}
+
+std::optional<Cache::Victim>
+Cache::invalidate(const LineKey &key)
+{
+    CacheLine *line = find(key);
+    if (!line)
+        return std::nullopt;
+    Victim v{line->key(), line->state, line->crossing};
+    if (line->orient == Orientation::Row)
+        --rowLines_;
+    else
+        --columnLines_;
+    line->state = MesiState::Invalid;
+    line->crossing = 0;
+    line->pinned = false;
+    return v;
+}
+
+bool
+Cache::setPinned(const LineKey &key, bool pinned)
+{
+    CacheLine *line = find(key);
+    if (!line)
+        return false;
+    line->pinned = pinned;
+    return true;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = CacheLine{};
+    lruClock_ = 0;
+    rowLines_ = 0;
+    columnLines_ = 0;
+    pinnedEvictions_ = 0;
+}
+
+} // namespace rcnvm::cache

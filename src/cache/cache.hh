@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A single set-associative cache level with LRU replacement,
+ * orientation-aware tags, crossing-bit storage, and pinning.
+ */
+
+#ifndef RCNVM_CACHE_CACHE_HH_
+#define RCNVM_CACHE_CACHE_HH_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/line.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace rcnvm::cache {
+
+/** Static configuration of one cache level. */
+struct CacheConfig {
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 8;
+
+    std::uint32_t numSets() const
+    {
+        return sizeBytes / (lineBytes * ways);
+    }
+};
+
+/**
+ * The tag/state array of one cache. Timing lives in the hierarchy;
+ * this class is purely functional state.
+ *
+ * Row- and column-oriented lines share the sets (indexed by their
+ * own addresses) and are distinguished by the orientation bit during
+ * tag match, exactly as described in Sec. 4.3.1.
+ */
+class Cache
+{
+  public:
+    /** Description of a line evicted by insert(). */
+    struct Victim {
+        LineKey key;
+        MesiState state = MesiState::Invalid;
+        std::uint8_t crossing = 0;
+    };
+
+    explicit Cache(const CacheConfig &config);
+
+    /** The configuration this cache was built with. */
+    const CacheConfig &config() const { return config_; }
+
+    /** Look up a line; returns nullptr on miss. Updates LRU on hit. */
+    CacheLine *find(const LineKey &key);
+
+    /** Look up without disturbing replacement state. */
+    const CacheLine *probe(const LineKey &key) const;
+
+    /**
+     * Insert a line, evicting the LRU non-pinned way if the set is
+     * full. If every way is pinned, the LRU pinned line is unpinned
+     * and evicted (counted in the pinnedEvictions statistic).
+     *
+     * @return the evicted victim, if any
+     */
+    std::optional<Victim> insert(const LineKey &key, MesiState state);
+
+    /** Remove a line if present; returns its pre-invalidation copy. */
+    std::optional<Victim> invalidate(const LineKey &key);
+
+    /** Pin or unpin a line; returns false when absent. */
+    bool setPinned(const LineKey &key, bool pinned);
+
+    /** Number of valid column-oriented lines (probe filtering). */
+    std::uint64_t columnLines() const { return columnLines_; }
+
+    /** Number of valid row-oriented lines. */
+    std::uint64_t rowLines() const { return rowLines_; }
+
+    /** Count of valid lines with the given orientation. */
+    std::uint64_t
+    linesWithOrientation(Orientation o) const
+    {
+        return o == Orientation::Row ? rowLines_ : columnLines_;
+    }
+
+    /** Forced evictions of pinned lines (should stay zero). */
+    std::uint64_t pinnedEvictions() const { return pinnedEvictions_; }
+
+    /** Drop all lines and statistics. */
+    void reset();
+
+  private:
+    unsigned setIndex(const LineKey &key) const;
+
+    CacheConfig config_;
+    std::uint32_t numSets_;
+    std::vector<CacheLine> lines_; //!< numSets_ x ways, row-major
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t rowLines_ = 0;
+    std::uint64_t columnLines_ = 0;
+    std::uint64_t pinnedEvictions_ = 0;
+};
+
+} // namespace rcnvm::cache
+
+#endif // RCNVM_CACHE_CACHE_HH_

@@ -1,0 +1,458 @@
+#include "cache/hierarchy.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace rcnvm::cache {
+
+Hierarchy::Hierarchy(const HierarchyConfig &config, sim::EventQueue &eq,
+                     mem::MemorySystem &memory)
+    : config_(config),
+      eq_(eq),
+      memory_(memory),
+      synonymEnabled_(memory.caps().columnAccess),
+      synonym_(memory.map())
+{
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        l1_.push_back(std::make_unique<Cache>(config_.l1));
+        l2_.push_back(std::make_unique<Cache>(config_.l2));
+    }
+    l3_ = std::make_unique<Cache>(config_.l3);
+}
+
+Cycles
+Hierarchy::onL3Fill(const LineKey &key)
+{
+    if (!synonymEnabled_)
+        return 0;
+    // Orientation filter: when no lines of the other orientation are
+    // cached at all, the crossing probe is skipped at zero cost.
+    if (l3_->linesWithOrientation(flip(key.orient)) == 0)
+        return 0;
+
+    Cycles extra = config_.synonymProbe;
+    synonymProbes_.inc(SynonymMapper::wordsPerLine);
+
+    CacheLine *self = l3_->find(key);
+    for (const Crossing &c : synonym_.crossings(key)) {
+        CacheLine *partner = l3_->find(c.partner);
+        if (!partner)
+            continue;
+        crossingsFound_.inc();
+        if (self)
+            self->crossing |= std::uint8_t(1u << c.selfWord);
+        partner->crossing |= std::uint8_t(1u << c.partnerWord);
+        extra += 1; // copy the shared word across
+    }
+    synonymTicks_.inc(config_.cpuPeriod * extra);
+    return extra;
+}
+
+Cycles
+Hierarchy::onWrite(unsigned core, const LineKey &key, unsigned word)
+{
+    if (!synonymEnabled_)
+        return 0;
+    CacheLine *self = l3_->find(key);
+    if (!self || !(self->crossing & (1u << word)))
+        return 0;
+
+    // Keep the duplicated word coherent: update the crossed line in
+    // the shared L3 and in any private copies.
+    const Crossing c = synonym_.crossingOfWord(key, word);
+    CacheLine *partner = l3_->find(c.partner);
+    Cycles extra = config_.synonymUpdate;
+    if (partner)
+        partner->state = MesiState::Modified;
+    for (unsigned i = 0; i < config_.cores; ++i) {
+        if (i == core)
+            continue;
+        if (CacheLine *p1 = l1_[i]->find(c.partner))
+            p1->state = MesiState::Modified;
+        if (CacheLine *p2 = l2_[i]->find(c.partner))
+            p2->state = MesiState::Modified;
+    }
+    if (CacheLine *own1 = l1_[core]->find(c.partner))
+        own1->state = MesiState::Modified;
+    if (CacheLine *own2 = l2_[core]->find(c.partner))
+        own2->state = MesiState::Modified;
+
+    synonymUpdates_.inc();
+    synonymTicks_.inc(config_.cpuPeriod * extra);
+    return extra;
+}
+
+void
+Hierarchy::onL3Evict(const Cache::Victim &victim)
+{
+    if (!synonymEnabled_ || victim.crossing == 0)
+        return;
+    Cycles cleanup = 0;
+    for (unsigned w = 0; w < SynonymMapper::wordsPerLine; ++w) {
+        if (!(victim.crossing & (1u << w)))
+            continue;
+        const Crossing c = synonym_.crossingOfWord(victim.key, w);
+        if (CacheLine *partner = l3_->find(c.partner))
+            partner->crossing &= std::uint8_t(~(1u << c.partnerWord));
+        cleanup += config_.synonymCleanup;
+    }
+    // Clean-up happens off the critical path but still consumes tag
+    // bandwidth; account it in the overhead statistic.
+    synonymTicks_.inc(config_.cpuPeriod * cleanup);
+}
+
+void
+Hierarchy::writeback(const LineKey &key)
+{
+    writebacks_.inc();
+    mem::MemRequest req;
+    req.addr = key.addr;
+    req.orient = key.orient;
+    req.isWrite = true;
+    memory_.issue(std::move(req));
+}
+
+void
+Hierarchy::backInvalidate(const LineKey &key, bool &was_dirty)
+{
+    for (unsigned i = 0; i < config_.cores; ++i) {
+        if (auto v = l1_[i]->invalidate(key)) {
+            if (v->state == MesiState::Modified)
+                was_dirty = true;
+        }
+        if (auto v = l2_[i]->invalidate(key)) {
+            if (v->state == MesiState::Modified)
+                was_dirty = true;
+        }
+    }
+}
+
+void
+Hierarchy::fillL3(const LineKey &key, MesiState state, Cycles &extra)
+{
+    auto victim = l3_->insert(key, state);
+    if (victim && victim->state != MesiState::Invalid) {
+        // Inclusion: remove private copies of the evicted line.
+        bool dirty = victim->state == MesiState::Modified;
+        backInvalidate(victim->key, dirty);
+        onL3Evict(*victim);
+        if (dirty)
+            writeback(victim->key);
+    }
+    extra += onL3Fill(key);
+}
+
+void
+Hierarchy::fillPrivate(unsigned core, const LineKey &key,
+                       MesiState state)
+{
+    if (auto v2 = l2_[core]->insert(key, state)) {
+        if (v2->state != MesiState::Invalid) {
+            // L2 inclusion over L1.
+            if (auto v1 = l1_[core]->invalidate(v2->key)) {
+                if (v1->state == MesiState::Modified)
+                    v2->state = MesiState::Modified;
+            }
+            if (v2->state == MesiState::Modified) {
+                // Fold the dirty data back into the shared L3.
+                if (CacheLine *l3line = l3_->find(v2->key))
+                    l3line->state = MesiState::Modified;
+            }
+        }
+    }
+    if (auto v1 = l1_[core]->insert(key, state)) {
+        if (v1->state == MesiState::Modified) {
+            if (CacheLine *l2line = l2_[core]->find(v1->key))
+                l2line->state = MesiState::Modified;
+            else if (CacheLine *l3line = l3_->find(v1->key))
+                l3line->state = MesiState::Modified;
+        }
+    }
+}
+
+Cycles
+Hierarchy::coherenceOnRead(unsigned core, const LineKey &key)
+{
+    Cycles extra = 0;
+    for (unsigned i = 0; i < config_.cores; ++i) {
+        if (i == core)
+            continue;
+        CacheLine *p1 = l1_[i]->find(key);
+        CacheLine *p2 = l2_[i]->find(key);
+        const bool dirty =
+            (p1 && p1->state == MesiState::Modified) ||
+            (p2 && p2->state == MesiState::Modified);
+        if (dirty) {
+            // Remote dirty copy: fetch and downgrade to Shared.
+            if (p1)
+                p1->state = MesiState::Shared;
+            if (p2)
+                p2->state = MesiState::Shared;
+            if (CacheLine *l3line = l3_->find(key))
+                l3line->state = MesiState::Modified;
+            cohRemoteFetches_.inc();
+            cohTicks_.inc(config_.cpuPeriod *
+                          config_.remoteFetchPenalty);
+            extra += config_.remoteFetchPenalty;
+        }
+    }
+    return extra;
+}
+
+Cycles
+Hierarchy::coherenceOnWrite(unsigned core, const LineKey &key)
+{
+    Cycles extra = 0;
+    bool any = false;
+    for (unsigned i = 0; i < config_.cores; ++i) {
+        if (i == core)
+            continue;
+        if (l1_[i]->invalidate(key))
+            any = true;
+        if (l2_[i]->invalidate(key))
+            any = true;
+    }
+    if (any) {
+        cohInvalidations_.inc();
+        cohTicks_.inc(config_.cpuPeriod * config_.invalidatePenalty);
+        extra += config_.invalidatePenalty;
+    }
+    return extra;
+}
+
+void
+Hierarchy::access(unsigned core, const CacheAccess &a,
+                  std::function<void(Tick)> done)
+{
+    accesses_.inc();
+
+    if (a.bypass) {
+        // GS-DRAM gathered access: streams past the caches.
+        bypasses_.inc();
+        llcMisses_.inc();
+        mem::MemRequest req;
+        req.addr = util::alignDown(a.addr, 64);
+        req.orient = a.orient;
+        req.isWrite = a.isWrite;
+        req.gathered = true;
+        const Tick path =
+            config_.cpuPeriod * (config_.l1Latency + config_.l2Latency +
+                                 config_.l3Latency);
+        req.onComplete = [done = std::move(done)](Tick t) { done(t); };
+        eq_.scheduleAfter(path, [this, req = std::move(req)]() mutable {
+            memory_.issue(std::move(req));
+        });
+        return;
+    }
+
+    const LineKey key{util::alignDown(a.addr, 64), a.orient};
+    const unsigned word = static_cast<unsigned>((a.addr % 64) / 8);
+
+    if (a.prefetchL3) {
+        // Group-caching prefetch: install the line in the shared
+        // LLC without disturbing the private caches, so the pinned
+        // group does not thrash L1/L2 (Sec. 5).
+        if (l3_->find(key)) {
+            l3Hits_.inc();
+            eq_.scheduleAfter(config_.cpuPeriod * config_.l3Latency,
+                              [done = std::move(done), this] {
+                                  done(eq_.now());
+                              });
+            return;
+        }
+        llcMisses_.inc();
+        mem::MemRequest req;
+        req.addr = key.addr;
+        req.orient = key.orient;
+        req.onComplete = [this, key,
+                          done = std::move(done)](Tick) {
+            Cycles extra = 0;
+            fillL3(key, MesiState::Exclusive, extra);
+            eq_.scheduleAfter(config_.cpuPeriod * extra,
+                              [done = std::move(done), this] {
+                                  done(eq_.now());
+                              });
+        };
+        const Tick path =
+            config_.cpuPeriod * config_.l3Latency;
+        eq_.scheduleAfter(path,
+                          [this, req = std::move(req)]() mutable {
+                              memory_.issue(std::move(req));
+                          });
+        return;
+    }
+
+    Cycles lat = config_.l1Latency;
+
+    // L1.
+    if (CacheLine *line = l1_[core]->find(key)) {
+        l1Hits_.inc();
+        if (a.isWrite) {
+            if (line->state == MesiState::Shared)
+                lat += coherenceOnWrite(core, key);
+            line->state = MesiState::Modified;
+            if (CacheLine *l2line = l2_[core]->find(key))
+                l2line->state = MesiState::Modified;
+            if (CacheLine *l3line = l3_->find(key))
+                l3line->state = MesiState::Modified;
+            lat += onWrite(core, key, word);
+        }
+        eq_.scheduleAfter(config_.cpuPeriod * lat,
+                          [done = std::move(done), this] {
+                              done(eq_.now());
+                          });
+        return;
+    }
+
+    // L2.
+    lat += config_.l2Latency;
+    if (CacheLine *line = l2_[core]->find(key)) {
+        l2Hits_.inc();
+        MesiState fill_state = line->state;
+        if (a.isWrite) {
+            if (line->state == MesiState::Shared)
+                lat += coherenceOnWrite(core, key);
+            line->state = MesiState::Modified;
+            fill_state = MesiState::Modified;
+            if (CacheLine *l3line = l3_->find(key))
+                l3line->state = MesiState::Modified;
+            lat += onWrite(core, key, word);
+        }
+        if (auto v1 = l1_[core]->insert(key, fill_state)) {
+            if (v1->state == MesiState::Modified) {
+                if (CacheLine *l2v = l2_[core]->find(v1->key))
+                    l2v->state = MesiState::Modified;
+            }
+        }
+        eq_.scheduleAfter(config_.cpuPeriod * lat,
+                          [done = std::move(done), this] {
+                              done(eq_.now());
+                          });
+        return;
+    }
+
+    // L3 + directory.
+    lat += config_.l3Latency;
+    if (CacheLine *line = l3_->find(key)) {
+        l3Hits_.inc();
+        lat += coherenceOnRead(core, key);
+        MesiState fill_state = MesiState::Shared;
+        if (a.isWrite) {
+            lat += coherenceOnWrite(core, key);
+            line->state = MesiState::Modified;
+            fill_state = MesiState::Modified;
+            lat += onWrite(core, key, word);
+        }
+        fillPrivate(core, key, fill_state);
+        eq_.scheduleAfter(config_.cpuPeriod * lat,
+                          [done = std::move(done), this] {
+                              done(eq_.now());
+                          });
+        return;
+    }
+
+    // Miss to memory.
+    llcMisses_.inc();
+    mem::MemRequest req;
+    req.addr = key.addr;
+    req.orient = key.orient;
+    req.isWrite = false; // line fill; the write happens on return
+
+    const bool is_write = a.isWrite;
+    req.onComplete = [this, core, key, word, is_write,
+                      done = std::move(done)](Tick) {
+        Cycles extra = 0;
+        fillL3(key, is_write ? MesiState::Modified : MesiState::Exclusive,
+               extra);
+        if (is_write) {
+            extra += coherenceOnWrite(core, key);
+            extra += onWrite(core, key, word);
+        }
+        fillPrivate(core, key,
+                    is_write ? MesiState::Modified
+                             : MesiState::Exclusive);
+        const Tick fill = config_.cpuPeriod *
+                          (config_.l1Latency + extra);
+        eq_.scheduleAfter(fill, [done = std::move(done), this] {
+            done(eq_.now());
+        });
+    };
+
+    const Tick path = config_.cpuPeriod * lat;
+    eq_.scheduleAfter(path, [this, req = std::move(req)]() mutable {
+        memory_.issue(std::move(req));
+    });
+}
+
+unsigned
+Hierarchy::pinRange(Addr addr, Orientation orient, std::uint64_t bytes,
+                    bool pinned)
+{
+    unsigned changed = 0;
+    const Addr first = util::alignDown(addr, 64);
+    const Addr last = util::alignDown(addr + bytes - 1, 64);
+    for (Addr a = first; a <= last; a += 64) {
+        if (l3_->setPinned(LineKey{a, orient}, pinned))
+            ++changed;
+    }
+    pinOps_.inc();
+    return changed;
+}
+
+util::StatsMap
+Hierarchy::stats() const
+{
+    util::StatsMap out;
+    out.set("cache.accesses", static_cast<double>(accesses_.value()));
+    out.set("cache.l1Hits", static_cast<double>(l1Hits_.value()));
+    out.set("cache.l2Hits", static_cast<double>(l2Hits_.value()));
+    out.set("cache.l3Hits", static_cast<double>(l3Hits_.value()));
+    out.set("cache.llcMisses", static_cast<double>(llcMisses_.value()));
+    out.set("cache.writebacks",
+            static_cast<double>(writebacks_.value()));
+    out.set("cache.bypasses", static_cast<double>(bypasses_.value()));
+    out.set("cache.synonymProbes",
+            static_cast<double>(synonymProbes_.value()));
+    out.set("cache.crossingsFound",
+            static_cast<double>(crossingsFound_.value()));
+    out.set("cache.synonymUpdates",
+            static_cast<double>(synonymUpdates_.value()));
+    out.set("cache.synonymTicks",
+            static_cast<double>(synonymTicks_.value()));
+    out.set("cache.cohRemoteFetches",
+            static_cast<double>(cohRemoteFetches_.value()));
+    out.set("cache.cohInvalidations",
+            static_cast<double>(cohInvalidations_.value()));
+    out.set("cache.cohTicks", static_cast<double>(cohTicks_.value()));
+    out.set("cache.pinOps", static_cast<double>(pinOps_.value()));
+    double pinned_evictions = static_cast<double>(l3_->pinnedEvictions());
+    out.set("cache.pinnedEvictions", pinned_evictions);
+    return out;
+}
+
+void
+Hierarchy::reset()
+{
+    for (auto &c : l1_)
+        c->reset();
+    for (auto &c : l2_)
+        c->reset();
+    l3_->reset();
+    accesses_.reset();
+    l1Hits_.reset();
+    l2Hits_.reset();
+    l3Hits_.reset();
+    llcMisses_.reset();
+    writebacks_.reset();
+    bypasses_.reset();
+    synonymProbes_.reset();
+    crossingsFound_.reset();
+    synonymUpdates_.reset();
+    synonymTicks_.reset();
+    cohRemoteFetches_.reset();
+    cohInvalidations_.reset();
+    cohTicks_.reset();
+    pinOps_.reset();
+}
+
+} // namespace rcnvm::cache

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Three-level cache hierarchy with directory-based MESI coherence
+ * and the RC-NVM synonym extensions of Sec. 4.3.
+ *
+ * Private L1/L2 per core, shared inclusive L3. Crossing bits are
+ * maintained at the shared L3, which doubles as the directory - the
+ * placement the paper prescribes for multi-core operation ("these
+ * bits are stored in the cache directory"). Probe, update, and
+ * clean-up work is charged to a synonym-overhead statistic that the
+ * Figure-21 bench reports as an overhead ratio.
+ */
+
+#ifndef RCNVM_CACHE_HIERARCHY_HH_
+#define RCNVM_CACHE_HIERARCHY_HH_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/synonym.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace rcnvm::cache {
+
+/** Static configuration of the whole hierarchy (Table 1 defaults). */
+struct HierarchyConfig {
+    unsigned cores = 4;
+    Tick cpuPeriod = 500; //!< 2 GHz
+
+    CacheConfig l1{"L1", 32 * 1024, 64, 8};
+    CacheConfig l2{"L2", 256 * 1024, 64, 8};
+    CacheConfig l3{"L3", 8 * 1024 * 1024, 64, 8};
+
+    Cycles l1Latency = 4;
+    Cycles l2Latency = 12;
+    Cycles l3Latency = 38;
+    Cycles remoteFetchPenalty = 40; //!< dirty line in another core
+    Cycles invalidatePenalty = 24;  //!< upgrade invalidations
+
+    Cycles synonymProbe = 2;  //!< crossing probe on an L3 fill
+    Cycles synonymUpdate = 2; //!< write-through to a crossed line
+    Cycles synonymCleanup = 1; //!< per bit cleared on eviction
+};
+
+/** One memory operation as seen by the hierarchy. */
+struct CacheAccess {
+    Addr addr = 0;
+    Orientation orient = Orientation::Row;
+    bool isWrite = false;
+    bool bypass = false; //!< GS-DRAM gathered access: skip caches
+    bool prefetchL3 = false; //!< group caching: fill the LLC only
+    unsigned bytes = 64;
+};
+
+/**
+ * The cache hierarchy. Functional state (tags, MESI, crossing bits)
+ * is updated at issue time; timing is composed from level latencies
+ * and the event-driven memory system below.
+ */
+class Hierarchy
+{
+  public:
+    Hierarchy(const HierarchyConfig &config, sim::EventQueue &eq,
+              mem::MemorySystem &memory);
+
+    /** The configuration in use. */
+    const HierarchyConfig &config() const { return config_; }
+
+    /**
+     * Perform one access for @p core. @p done is invoked exactly
+     * once with the completion tick.
+     */
+    void access(unsigned core, const CacheAccess &a,
+                std::function<void(Tick)> done);
+
+    /**
+     * Pin or unpin every line of the given orientation overlapping
+     * [addr, addr+bytes) in the shared L3 (group caching).
+     * @return number of lines whose pin state changed
+     */
+    unsigned pinRange(Addr addr, Orientation orient,
+                      std::uint64_t bytes, bool pinned);
+
+    /** Aggregate statistics. */
+    util::StatsMap stats() const;
+
+    /** Drop all cache state and statistics. */
+    void reset();
+
+  private:
+    /** Charge and account synonym work on an L3 fill. */
+    Cycles onL3Fill(const LineKey &key);
+
+    /** Propagate a write to a crossed line if the bit is set. */
+    Cycles onWrite(unsigned core, const LineKey &key, unsigned word);
+
+    /** Clear partner crossing bits when an L3 line leaves. */
+    void onL3Evict(const Cache::Victim &victim);
+
+    /** Insert into L3 handling eviction side effects. */
+    void fillL3(const LineKey &key, MesiState state, Cycles &extra);
+
+    /** Insert into a private level, maintaining inclusion. */
+    void fillPrivate(unsigned core, const LineKey &key,
+                     MesiState state);
+
+    /** Invalidate a key from every private cache (back-inval). */
+    void backInvalidate(const LineKey &key, bool &was_dirty);
+
+    /** MESI: handle a miss that found the line in other cores. */
+    Cycles coherenceOnRead(unsigned core, const LineKey &key);
+
+    /** MESI: obtain exclusivity for a write. */
+    Cycles coherenceOnWrite(unsigned core, const LineKey &key);
+
+    /** Send a write-back of an evicted dirty line to memory. */
+    void writeback(const LineKey &key);
+
+    HierarchyConfig config_;
+    sim::EventQueue &eq_;
+    mem::MemorySystem &memory_;
+    bool synonymEnabled_;
+    SynonymMapper synonym_;
+
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> l3_;
+
+    // Statistics.
+    util::Counter accesses_;
+    util::Counter l1Hits_;
+    util::Counter l2Hits_;
+    util::Counter l3Hits_;
+    util::Counter llcMisses_;
+    util::Counter writebacks_;
+    util::Counter bypasses_;
+    util::Counter synonymProbes_;
+    util::Counter crossingsFound_;
+    util::Counter synonymUpdates_;
+    util::Counter synonymTicks_;
+    util::Counter cohRemoteFetches_;
+    util::Counter cohInvalidations_;
+    util::Counter cohTicks_;
+    util::Counter pinOps_;
+};
+
+} // namespace rcnvm::cache
+
+#endif // RCNVM_CACHE_HIERARCHY_HH_

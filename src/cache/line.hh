@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cache line identity and state for the RC-NVM cache architecture
+ * (paper Figure 8): MESI state, the orientation bit, per-8-byte
+ * crossing bits, and the pin bit used by group caching.
+ */
+
+#ifndef RCNVM_CACHE_LINE_HH_
+#define RCNVM_CACHE_LINE_HH_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hh"
+
+namespace rcnvm::cache {
+
+/** MESI coherence states. */
+enum class MesiState : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/**
+ * Identity of a cache line: its 64-byte-aligned address expressed in
+ * its own orientation's address space, plus the orientation bit.
+ * The same physical data cached via row- and column-oriented
+ * addresses forms two distinct lines (the synonym problem).
+ */
+struct LineKey {
+    Addr addr = 0;
+    Orientation orient = Orientation::Row;
+
+    bool operator==(const LineKey &) const = default;
+};
+
+/** Hash for LineKey (used by directory bookkeeping). */
+struct LineKeyHash {
+    std::size_t
+    operator()(const LineKey &k) const
+    {
+        const std::size_t h = std::hash<Addr>{}(k.addr);
+        return h ^ (k.orient == Orientation::Column ? 0x9e3779b9u : 0u);
+    }
+};
+
+/** One cache line's tag-array entry. */
+struct CacheLine {
+    Addr tag = 0;          //!< full line address (within orientation)
+    Orientation orient = Orientation::Row;
+    MesiState state = MesiState::Invalid;
+    std::uint8_t crossing = 0; //!< crossing bit per 8-byte word
+    bool pinned = false;       //!< group-caching pin
+    std::uint64_t lru = 0;     //!< LRU timestamp
+
+    bool valid() const { return state != MesiState::Invalid; }
+    bool dirty() const { return state == MesiState::Modified; }
+
+    /** Key identifying this (valid) line. */
+    LineKey key() const { return LineKey{tag, orient}; }
+};
+
+} // namespace rcnvm::cache
+
+#endif // RCNVM_CACHE_LINE_HH_

@@ -1,0 +1,35 @@
+#include "cache/synonym.hh"
+
+namespace rcnvm::cache {
+
+Crossing
+SynonymMapper::crossingOfWord(const LineKey &key,
+                              unsigned word_index) const
+{
+    // Decode the word's location, then express it in the other
+    // orientation and align to that orientation's line.
+    const Addr word_addr = key.addr + Addr{word_index} * 8;
+    mem::DecodedAddr d = map_->decode(word_addr, key.orient);
+    d.offset = 0;
+
+    const Orientation other = flip(key.orient);
+    const Addr other_word = map_->encode(d, other);
+    const Addr other_line = other_word & ~Addr{63};
+
+    Crossing c;
+    c.partner = LineKey{other_line, other};
+    c.selfWord = word_index;
+    c.partnerWord = static_cast<unsigned>((other_word - other_line) / 8);
+    return c;
+}
+
+std::array<Crossing, SynonymMapper::wordsPerLine>
+SynonymMapper::crossings(const LineKey &key) const
+{
+    std::array<Crossing, wordsPerLine> out;
+    for (unsigned w = 0; w < wordsPerLine; ++w)
+        out[w] = crossingOfWord(key, w);
+    return out;
+}
+
+} // namespace rcnvm::cache

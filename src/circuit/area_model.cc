@@ -1,0 +1,62 @@
+#include "circuit/area_model.hh"
+
+#include <cassert>
+
+namespace rcnvm::circuit {
+
+double
+AreaModel::dramArea(unsigned n) const
+{
+    assert(n > 0);
+    const double nd = n;
+    return dram_.cellArea * nd * nd + dram_.peripheryPerLine * nd;
+}
+
+double
+AreaModel::rcDramArea(unsigned n) const
+{
+    assert(n > 0);
+    const double nd = n;
+    // 2T1C cell with orthogonal WL/BL and a capacitor that grows
+    // with the orthogonal line length to keep sensing margin;
+    // periphery is duplicated on the second edge.
+    const double cell =
+        dram_.rcCellBaseArea + dram_.rcCellAreaPerLine * nd;
+    return cell * nd * nd +
+           dram_.rcPeripheryFactor * dram_.peripheryPerLine * nd;
+}
+
+double
+AreaModel::nvmArea(unsigned n) const
+{
+    assert(n > 0);
+    const double nd = n;
+    return nvm_.cellArea * nd * nd + nvm_.peripheryPerLine * nd;
+}
+
+double
+AreaModel::rcNvmArea(unsigned n) const
+{
+    assert(n > 0);
+    const double nd = n;
+    // The crossbar cell array itself is untouched (Sec. 2.3); only
+    // peripheral circuitry is added, so the overhead amortises away
+    // as the array grows.
+    return nvm_.cellArea * nd * nd +
+           (nvm_.peripheryPerLine + nvm_.rcExtraPeripheryPerLine) * nd +
+           nvm_.columnBufferArea;
+}
+
+double
+AreaModel::rcDramOverhead(unsigned n) const
+{
+    return rcDramArea(n) / dramArea(n) - 1.0;
+}
+
+double
+AreaModel::rcNvmOverhead(unsigned n) const
+{
+    return rcNvmArea(n) / nvmArea(n) - 1.0;
+}
+
+} // namespace rcnvm::circuit

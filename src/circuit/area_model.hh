@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analytic area model comparing dual-addressable memory designs
+ * against their single-addressable baselines (paper Figure 4).
+ */
+
+#ifndef RCNVM_CIRCUIT_AREA_MODEL_HH_
+#define RCNVM_CIRCUIT_AREA_MODEL_HH_
+
+#include "circuit/tech_params.hh"
+
+namespace rcnvm::circuit {
+
+/**
+ * Computes mat/array areas for DRAM, RC-DRAM, crossbar NVM, and
+ * RC-NVM as a function of the number of word lines and bit lines in
+ * one array, and the relative overheads plotted in Figure 4.
+ */
+class AreaModel
+{
+  public:
+    /** Build a model from technology parameters. */
+    AreaModel(DramTechParams dram, NvmTechParams nvm)
+        : dram_(dram), nvm_(nvm)
+    {
+    }
+
+    /** Default paper calibration. */
+    AreaModel() : AreaModel(DramTechParams{}, NvmTechParams{}) {}
+
+    /** Area (F^2) of an n x n conventional DRAM array. */
+    double dramArea(unsigned n) const;
+
+    /** Area (F^2) of an n x n dual-addressable RC-DRAM array. */
+    double rcDramArea(unsigned n) const;
+
+    /** Area (F^2) of an n x n crossbar NVM array (row-only). */
+    double nvmArea(unsigned n) const;
+
+    /** Area (F^2) of an n x n dual-addressable RC-NVM array. */
+    double rcNvmArea(unsigned n) const;
+
+    /** RC-DRAM area overhead over DRAM as a ratio (1.0 == +100 %). */
+    double rcDramOverhead(unsigned n) const;
+
+    /** RC-NVM area overhead over NVM as a ratio. */
+    double rcNvmOverhead(unsigned n) const;
+
+  private:
+    DramTechParams dram_;
+    NvmTechParams nvm_;
+};
+
+} // namespace rcnvm::circuit
+
+#endif // RCNVM_CIRCUIT_AREA_MODEL_HH_

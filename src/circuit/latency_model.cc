@@ -1,0 +1,29 @@
+#include "circuit/latency_model.hh"
+
+#include <cassert>
+
+namespace rcnvm::circuit {
+
+double
+LatencyModel::baselineReadNs(unsigned n) const
+{
+    assert(n > 0);
+    const double nd = n;
+    return p_.cellReadNs + p_.wireNsPerLineSq * nd * nd;
+}
+
+double
+LatencyModel::rcNvmReadNs(unsigned n) const
+{
+    assert(n > 0);
+    const double nd = n;
+    return baselineReadNs(n) + p_.muxNs + p_.rcExtraNsPerLineSq * nd * nd;
+}
+
+double
+LatencyModel::rcNvmOverhead(unsigned n) const
+{
+    return rcNvmReadNs(n) / baselineReadNs(n) - 1.0;
+}
+
+} // namespace rcnvm::circuit

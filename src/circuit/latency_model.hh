@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Analytic read-latency model for RC-NVM arrays (paper Figure 5).
+ */
+
+#ifndef RCNVM_CIRCUIT_LATENCY_MODEL_HH_
+#define RCNVM_CIRCUIT_LATENCY_MODEL_HH_
+
+#include "circuit/tech_params.hh"
+
+namespace rcnvm::circuit {
+
+/**
+ * Read latency of a crossbar NVM array versus its dual-addressable
+ * RC-NVM variant, as a function of word/bit line count. Wire delay
+ * follows the Elmore model (quadratic in line length); the RC-NVM
+ * variant adds a fixed multiplexer stage plus extra routing delay.
+ */
+class LatencyModel
+{
+  public:
+    /** Build from technology parameters. */
+    explicit LatencyModel(NvmLatencyParams p) : p_(p) {}
+
+    /** Default paper calibration. */
+    LatencyModel() : LatencyModel(NvmLatencyParams{}) {}
+
+    /** Baseline row-only NVM array read latency in ns. */
+    double baselineReadNs(unsigned n) const;
+
+    /** Dual-addressable RC-NVM array read latency in ns. */
+    double rcNvmReadNs(unsigned n) const;
+
+    /** Latency overhead ratio of RC-NVM (1.0 == +100 %). */
+    double rcNvmOverhead(unsigned n) const;
+
+  private:
+    NvmLatencyParams p_;
+};
+
+} // namespace rcnvm::circuit
+
+#endif // RCNVM_CIRCUIT_LATENCY_MODEL_HH_

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Technology-level parameters for the circuit area/latency models.
+ *
+ * The models reproduce Figures 4 and 5 of the RC-NVM paper. They are
+ * analytic rather than SPICE-based (see DESIGN.md substitution table):
+ * cell areas in F^2, peripheral circuitry amortised along array edges,
+ * and Elmore-style quadratic wire delay. Constants are calibrated to
+ * the paper's stated anchor points:
+ *   - RC-DRAM area overhead > 200 % everywhere, growing with array
+ *     size (Fig 4);
+ *   - RC-NVM area overhead < 20 % at 512x512 (Fig 4, Sec. 3);
+ *   - RC-NVM latency overhead ~= 15 % at 512x512 (Fig 5, Sec. 3).
+ */
+
+#ifndef RCNVM_CIRCUIT_TECH_PARAMS_HH_
+#define RCNVM_CIRCUIT_TECH_PARAMS_HH_
+
+namespace rcnvm::circuit {
+
+/** Parameters of the DRAM / RC-DRAM area model (units of F^2). */
+struct DramTechParams {
+    /** 1T1C DRAM cell area. */
+    double cellArea = 6.0;
+
+    /**
+     * Base area of the 2T1C dual-port RC-DRAM cell including the
+     * extra word line and bit line routed at wire pitch through the
+     * mat. Dominated by pitch doubling in both directions.
+     */
+    double rcCellBaseArea = 22.0;
+
+    /**
+     * Extra capacitor area per additional word/bit line crossed by
+     * the orthogonal sensing path. The sensing margin requirement
+     * C_cell / C_bitline >= const makes the storage capacitor grow
+     * linearly with the orthogonal line length.
+     */
+    double rcCellAreaPerLine = 6.0 / 512.0;
+
+    /** Peripheral area per word line (decoder + SA + driver). */
+    double peripheryPerLine = 60.0;
+
+    /**
+     * Periphery growth factor for RC-DRAM: decoders and sense
+     * amplifiers duplicated on the orthogonal edge plus wider
+     * drivers for the two-transistor cells.
+     */
+    double rcPeripheryFactor = 2.2;
+};
+
+/** Parameters of the crossbar NVM / RC-NVM area model (F^2). */
+struct NvmTechParams {
+    /** Crossbar cell footprint (4F^2, cell array unchanged). */
+    double cellArea = 4.0;
+
+    /**
+     * Peripheral area per line for the baseline row-only design:
+     * hierarchical decoder slice, sense amplifier, and write driver.
+     */
+    double peripheryPerLine = 450.0;
+
+    /**
+     * Peripheral area added per line by dual addressing: duplicated
+     * decoder/SA/WD on the orthogonal edge plus the multiplexers
+     * that steer them. Slightly less than a full second periphery
+     * because the hierarchical global decoders are shared.
+     */
+    double rcExtraPeripheryPerLine = 400.0;
+
+    /** Fixed per-bank area of the column buffer (F^2). */
+    double columnBufferArea = 8192.0;
+};
+
+/** Parameters of the RC-NVM read-latency model (nanoseconds). */
+struct NvmLatencyParams {
+    /** Cell sensing time, independent of array size. */
+    double cellReadNs = 24.0;
+
+    /** Wire + decode delay coefficient: base(N) adds wireNs*N^2. */
+    double wireNsPerLineSq = 4.0 / (512.0 * 512.0);
+
+    /** Fixed delay of the added row/column steering multiplexers. */
+    double muxNs = 0.5;
+
+    /**
+     * Extra routing delay coefficient for the dual-addressable
+     * array: wires detour to reach periphery on both edges and the
+     * added mux transistors load the critical path.
+     */
+    double rcExtraNsPerLineSq = 3.85 / (512.0 * 512.0);
+};
+
+} // namespace rcnvm::circuit
+
+#endif // RCNVM_CIRCUIT_TECH_PARAMS_HH_

@@ -1,0 +1,64 @@
+#include "core/experiment.hh"
+
+#include "core/presets.hh"
+
+namespace rcnvm::core {
+
+ExperimentResult
+runCompiled(const cpu::MachineConfig &config,
+            const workload::CompiledQuery &query)
+{
+    cpu::Machine machine(config);
+    ExperimentResult result;
+    cpu::RunResult last;
+    for (const auto &phase : query.phases) {
+        last = machine.run(phase);
+        result.ticks += last.ticks;
+    }
+    result.stats = last.stats; // counters accumulate across phases
+    return result;
+}
+
+ExperimentResult
+runPlans(const cpu::MachineConfig &config,
+         const std::vector<cpu::AccessPlan> &plans)
+{
+    cpu::Machine machine(config);
+    const cpu::RunResult run = machine.run(plans);
+    ExperimentResult result;
+    result.ticks = run.ticks;
+    result.stats = run.stats;
+    return result;
+}
+
+ExperimentResult
+runQuery(mem::DeviceKind kind,
+         const workload::QueryWorkload &workload,
+         workload::QueryId id, unsigned group_lines)
+{
+    const cpu::MachineConfig config = table1Machine(kind);
+    // Placement only needs the address map, which is a pure function
+    // of the device geometry.
+    mem::AddressMap map(mem::geometryFor(kind));
+    const workload::PlacedDatabase pd = workload.place(kind, map);
+    const workload::CompiledQuery query =
+        workload.compile(id, pd, config.hierarchy.cores,
+                         group_lines);
+    return runCompiled(config, query);
+}
+
+ExperimentResult
+runMicro(mem::DeviceKind kind, const workload::TableSet &tables,
+         workload::MicroBench mb, imdb::ChunkLayout layout)
+{
+    const cpu::MachineConfig config = table1Machine(kind);
+    mem::AddressMap map(mem::geometryFor(kind));
+    imdb::Database db(kind, map);
+    const imdb::Database::TableId tid =
+        db.addTable(tables.micro.get(), layout);
+    const auto plans = workload::compileMicro(
+        db, tid, mb, config.hierarchy.cores);
+    return runPlans(config, plans);
+}
+
+} // namespace rcnvm::core

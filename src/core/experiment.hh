@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Experiment runner utilities shared by benches, tests, and
+ * examples: run a compiled query on a machine and collect the
+ * statistics the paper reports.
+ */
+
+#ifndef RCNVM_CORE_EXPERIMENT_HH_
+#define RCNVM_CORE_EXPERIMENT_HH_
+
+#include <string>
+
+#include "cpu/machine.hh"
+#include "workload/micro.hh"
+#include "workload/queries.hh"
+
+namespace rcnvm::core {
+
+/** Result of running one query/benchmark on one device. */
+struct ExperimentResult {
+    Tick ticks = 0;
+    util::StatsMap stats;
+
+    double cycles() const { return static_cast<double>(ticks) / 500.0; }
+    double megacycles() const { return cycles() / 1.0e6; }
+
+    /** Demand LLC misses (the Figure-19 metric). */
+    double llcMisses() const
+    {
+        return stats.get("cache.llcMisses");
+    }
+
+    /** Combined row/column buffer miss rate (Figure-20 metric). */
+    double bufferMissRate() const
+    {
+        return stats.get("mem.bufferMissRate");
+    }
+
+    /**
+     * Cache synonym and coherence overhead ratio (Figure-21
+     * metric): the extra work introduced by RC-NVM's dual-address
+     * bookkeeping (crossing probes, duplicate updates, eviction
+     * clean-up). Ordinary MESI traffic exists on the baselines too
+     * and is therefore not counted.
+     */
+    double
+    coherenceOverheadRatio() const
+    {
+        const double total = static_cast<double>(ticks);
+        if (total <= 0)
+            return 0.0;
+        // Overhead ticks accumulate per event across cores;
+        // normalise by total machine time (cores x ticks).
+        const double cores = 4.0;
+        return stats.get("cache.synonymTicks") / (total * cores);
+    }
+};
+
+/**
+ * Run all phases of a compiled query on a fresh machine for
+ * @p config. Phases execute back to back on the same machine, so
+ * cache and bank state carries over (build -> probe -> fetch).
+ */
+ExperimentResult runCompiled(const cpu::MachineConfig &config,
+                             const workload::CompiledQuery &query);
+
+/** Run a set of single-phase per-core plans. */
+ExperimentResult runPlans(const cpu::MachineConfig &config,
+                          const std::vector<cpu::AccessPlan> &plans);
+
+/**
+ * Convenience: place the workload on @p kind, compile query @p id,
+ * and run it on the Table-1 machine.
+ */
+ExperimentResult runQuery(mem::DeviceKind kind,
+                          const workload::QueryWorkload &workload,
+                          workload::QueryId id,
+                          unsigned group_lines =
+                              workload::QueryWorkload::kDefaultGroup);
+
+/** Convenience: run one micro-benchmark on @p kind. */
+ExperimentResult runMicro(mem::DeviceKind kind,
+                          const workload::TableSet &tables,
+                          workload::MicroBench mb,
+                          imdb::ChunkLayout layout);
+
+} // namespace rcnvm::core
+
+#endif // RCNVM_CORE_EXPERIMENT_HH_

@@ -1,0 +1,25 @@
+#include "core/presets.hh"
+
+namespace rcnvm::core {
+
+cpu::MachineConfig
+table1Machine(mem::DeviceKind kind)
+{
+    cpu::MachineConfig config;
+    config.device = kind;
+    config.hierarchy = cache::HierarchyConfig{};
+    config.window = 4;
+    return config;
+}
+
+cpu::MachineConfig
+table1MachineWithCell(mem::DeviceKind kind, double read_ns,
+                      double write_ns)
+{
+    cpu::MachineConfig config = table1Machine(kind);
+    config.timing =
+        mem::timingFor(kind).withCellLatency(read_ns, write_ns);
+    return config;
+}
+
+} // namespace rcnvm::core

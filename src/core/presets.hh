@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Configuration presets reproducing Table 1 of the paper.
+ */
+
+#ifndef RCNVM_CORE_PRESETS_HH_
+#define RCNVM_CORE_PRESETS_HH_
+
+#include "cpu/machine.hh"
+#include "mem/timing.hh"
+
+namespace rcnvm::core {
+
+/**
+ * The Table-1 machine: 4 x86-like cores at 2 GHz, 32 KB L1 / 256 KB
+ * L2 private, 8 MB shared L3, 64 B lines, 8-way everywhere, FR-FCFS
+ * controllers with 32-entry queues, and the chosen memory device.
+ */
+cpu::MachineConfig table1Machine(mem::DeviceKind kind);
+
+/**
+ * Table-1 machine with an RRAM/RC-NVM cell latency override
+ * (Figure-22 sensitivity study).
+ *
+ * @param read_ns   cell read access time
+ * @param write_ns  cell write pulse width
+ */
+cpu::MachineConfig table1MachineWithCell(mem::DeviceKind kind,
+                                         double read_ns,
+                                         double write_ns);
+
+} // namespace rcnvm::core
+
+#endif // RCNVM_CORE_PRESETS_HH_

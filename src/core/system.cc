@@ -1,0 +1,40 @@
+#include "core/system.hh"
+
+#include "core/presets.hh"
+
+namespace rcnvm::core {
+
+RcNvmSystem::RcNvmSystem(const Options &options)
+    : options_(options),
+      tables_(workload::TableSet::standard(
+          options.tuples, options.microTuples, options.seed)),
+      workload_(std::make_unique<workload::QueryWorkload>(tables_)),
+      map_(mem::geometryFor(options.device)),
+      pd_(workload_->place(options.device, map_, options.rcLayout))
+{
+}
+
+ExperimentResult
+RcNvmSystem::runQuery(workload::QueryId id,
+                      unsigned group_lines) const
+{
+    const cpu::MachineConfig config = table1Machine(options_.device);
+    const workload::CompiledQuery query = workload_->compile(
+        id, pd_, options_.cores, group_lines);
+    return runCompiled(config, query);
+}
+
+ExperimentResult
+RcNvmSystem::runMicro(workload::MicroBench mb) const
+{
+    return core::runMicro(options_.device, tables_, mb,
+                          options_.rcLayout);
+}
+
+ExperimentResult
+RcNvmSystem::runPlans(const std::vector<cpu::AccessPlan> &plans) const
+{
+    return core::runPlans(table1Machine(options_.device), plans);
+}
+
+} // namespace rcnvm::core

@@ -1,0 +1,142 @@
+#include "cpu/core.hh"
+
+#include "util/logging.hh"
+
+namespace rcnvm::cpu {
+
+Core::Core(unsigned id, sim::EventQueue &eq,
+           cache::Hierarchy &hierarchy, unsigned window)
+    : id_(id), eq_(eq), hierarchy_(hierarchy), window_(window)
+{
+}
+
+void
+Core::start(AccessPlan plan, std::function<void(Tick)> on_finish)
+{
+    plan_ = std::move(plan);
+    onFinish_ = std::move(on_finish);
+    pc_ = 0;
+    outstanding_ = 0;
+    readyTick_ = eq_.now();
+    finished_ = false;
+    fencePending_ = false;
+    stalledFull_ = false;
+    scheduleAdvance(eq_.now());
+}
+
+void
+Core::scheduleAdvance(Tick when)
+{
+    if (advanceScheduled_)
+        return;
+    advanceScheduled_ = true;
+    eq_.schedule(when, [this] {
+        advanceScheduled_ = false;
+        advance();
+    });
+}
+
+void
+Core::onAccessDone()
+{
+    --outstanding_;
+    if (stalledFull_) {
+        stalledFull_ = false;
+        stallTicks_.inc(eq_.now() - stallStart_);
+    }
+    advance();
+}
+
+void
+Core::advance()
+{
+    if (finished_)
+        return;
+
+    while (pc_ < plan_.size()) {
+        const Tick now = eq_.now();
+        if (now < readyTick_) {
+            scheduleAdvance(readyTick_);
+            return;
+        }
+
+        const MemOp &op = plan_[pc_];
+        switch (op.kind) {
+          case OpKind::Compute:
+            readyTick_ = now + Tick{op.computeCycles} * cpuPeriod;
+            ++pc_;
+            continue;
+
+          case OpKind::Pin:
+            hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
+                                true);
+            readyTick_ = now + 2 * cpuPeriod;
+            ++pc_;
+            continue;
+
+          case OpKind::Unpin:
+            hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
+                                false);
+            readyTick_ = now + 2 * cpuPeriod;
+            ++pc_;
+            continue;
+
+          case OpKind::Fence:
+            if (outstanding_ > 0) {
+                fencePending_ = true;
+                return; // resumed by onAccessDone
+            }
+            ++pc_;
+            continue;
+
+          case OpKind::Load:
+          case OpKind::Store:
+          case OpKind::CLoad:
+          case OpKind::CStore:
+          case OpKind::CPrefetch:
+          case OpKind::GLoad: {
+            if (outstanding_ >= window_) {
+                if (!stalledFull_) {
+                    stalledFull_ = true;
+                    stallStart_ = now;
+                }
+                return; // resumed by onAccessDone
+            }
+            ++outstanding_;
+            memOps_.inc();
+            ++pc_;
+            readyTick_ = now + cpuPeriod; // one issue per cycle
+
+            cache::CacheAccess access;
+            access.addr = op.addr;
+            access.orient = op.orientation();
+            access.isWrite = op.isWrite();
+            access.bypass = op.kind == OpKind::GLoad;
+            access.prefetchL3 = op.kind == OpKind::CPrefetch;
+            access.bytes = op.bytes;
+            hierarchy_.access(id_, access,
+                              [this](Tick) { onAccessDone(); });
+            continue;
+          }
+        }
+    }
+
+    if (fencePending_ && outstanding_ == 0)
+        fencePending_ = false;
+
+    // The final operation may have been a Compute/Pin that set a
+    // future ready time; the core is only done once it elapses.
+    if (pc_ >= plan_.size() && eq_.now() < readyTick_) {
+        scheduleAdvance(readyTick_);
+        return;
+    }
+
+    if (pc_ >= plan_.size() && outstanding_ == 0 && !finished_) {
+        finished_ = true;
+        finishTick_ = eq_.now();
+        if (onFinish_)
+            onFinish_(finishTick_);
+    }
+}
+
+} // namespace rcnvm::cpu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A trace-replaying in-order core with a bounded window of
+ * outstanding memory accesses.
+ */
+
+#ifndef RCNVM_CPU_CORE_HH_
+#define RCNVM_CPU_CORE_HH_
+
+#include <functional>
+
+#include "cache/hierarchy.hh"
+#include "cpu/mem_op.hh"
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace rcnvm::cpu {
+
+/**
+ * Replays an AccessPlan against the cache hierarchy.
+ *
+ * The core issues one operation per CPU cycle while fewer than
+ * `window` memory accesses are outstanding; Compute ops make it busy
+ * for their duration; Fence drains the window. This models the
+ * memory-level parallelism of an out-of-order core running the
+ * memory-bound query kernels without simulating its pipeline.
+ */
+class Core
+{
+  public:
+    /**
+     * @param id        core number (cache port selector)
+     * @param eq        simulation event queue
+     * @param hierarchy cache hierarchy to access
+     * @param window    maximum outstanding memory accesses
+     */
+    Core(unsigned id, sim::EventQueue &eq,
+         cache::Hierarchy &hierarchy, unsigned window = 8);
+
+    /** Begin replaying @p plan; @p on_finish fires when done. */
+    void start(AccessPlan plan, std::function<void(Tick)> on_finish);
+
+    /** True when the whole plan has completed. */
+    bool finished() const { return finished_; }
+
+    /** Tick at which the plan finished (valid when finished()). */
+    Tick finishTick() const { return finishTick_; }
+
+    /** Number of memory operations issued. */
+    std::uint64_t memOps() const { return memOps_.value(); }
+
+    /** Cycles spent stalled with a full window. */
+    std::uint64_t stallTicks() const { return stallTicks_.value(); }
+
+  private:
+    void advance();
+    void scheduleAdvance(Tick when);
+    void onAccessDone();
+
+    unsigned id_;
+    sim::EventQueue &eq_;
+    cache::Hierarchy &hierarchy_;
+    unsigned window_;
+
+    AccessPlan plan_;
+    std::size_t pc_ = 0;
+    unsigned outstanding_ = 0;
+    Tick readyTick_ = 0;
+    bool advanceScheduled_ = false;
+    bool stalledFull_ = false;
+    bool fencePending_ = false;
+    bool finished_ = true;
+    Tick finishTick_ = 0;
+    Tick stallStart_ = 0;
+    std::function<void(Tick)> onFinish_;
+
+    util::Counter memOps_;
+    util::Counter stallTicks_;
+
+    static constexpr Tick cpuPeriod = 500; // 2 GHz
+};
+
+} // namespace rcnvm::cpu
+
+#endif // RCNVM_CPU_CORE_HH_

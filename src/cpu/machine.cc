@@ -1,0 +1,79 @@
+#include "cpu/machine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rcnvm::cpu {
+
+Machine::Machine(const MachineConfig &config) : config_(config)
+{
+    const mem::TimingParams timing =
+        config_.timing ? *config_.timing
+                       : mem::timingFor(config_.device);
+    memory_ = std::make_unique<mem::MemorySystem>(
+        config_.device, eq_, timing, config_.salp);
+    hierarchy_ = std::make_unique<cache::Hierarchy>(
+        config_.hierarchy, eq_, *memory_);
+    for (unsigned c = 0; c < config_.hierarchy.cores; ++c) {
+        cores_.push_back(std::make_unique<Core>(c, eq_, *hierarchy_,
+                                                config_.window));
+    }
+}
+
+RunResult
+Machine::run(const std::vector<AccessPlan> &plans)
+{
+    if (plans.size() > cores_.size())
+        rcnvm_fatal("more plans (", plans.size(), ") than cores (",
+                    cores_.size(), ")");
+
+    const Tick start = eq_.now();
+    Tick latest = start;
+    unsigned running = 0;
+
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        if (plans[i].empty())
+            continue;
+        ++running;
+        cores_[i]->start(plans[i], [&latest, &running](Tick t) {
+            latest = std::max(latest, t);
+            --running;
+        });
+    }
+
+    eq_.run();
+
+    if (running != 0)
+        rcnvm_panic("simulation deadlock: ", running,
+                    " cores never finished");
+
+    RunResult result;
+    result.ticks = latest - start;
+    result.stats = hierarchy_->stats();
+    result.stats.merge(memory_->stats());
+    double mem_ops = 0, stall = 0;
+    for (const auto &core : cores_) {
+        mem_ops += static_cast<double>(core->memOps());
+        stall += static_cast<double>(core->stallTicks());
+    }
+    result.stats.set("cpu.memOps", mem_ops);
+    result.stats.set("cpu.stallTicks", stall);
+    result.stats.set("run.ticks", static_cast<double>(result.ticks));
+    return result;
+}
+
+RunResult
+Machine::run(const AccessPlan &plan)
+{
+    return run(std::vector<AccessPlan>{plan});
+}
+
+void
+Machine::reset()
+{
+    hierarchy_->reset();
+    memory_->reset();
+}
+
+} // namespace rcnvm::cpu

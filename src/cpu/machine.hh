@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The full simulated machine: cores, cache hierarchy, and one of the
+ * four memory devices, assembled per the Table-1 configuration.
+ */
+
+#ifndef RCNVM_CPU_MACHINE_HH_
+#define RCNVM_CPU_MACHINE_HH_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "cpu/mem_op.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+
+namespace rcnvm::cpu {
+
+/** Machine-level configuration. */
+struct MachineConfig {
+    mem::DeviceKind device = mem::DeviceKind::RcNvm;
+    /** Device timing override (Figure-22 sensitivity sweeps). */
+    std::optional<mem::TimingParams> timing;
+    cache::HierarchyConfig hierarchy;
+    unsigned window = 8; //!< outstanding accesses per core
+    bool salp = false;   //!< subarray-level parallelism extension
+};
+
+/** Result of one simulation run. */
+struct RunResult {
+    Tick ticks = 0; //!< wall-clock of the slowest core
+    util::StatsMap stats;
+
+    /** Execution time in CPU cycles (2 GHz). */
+    double cycles() const { return static_cast<double>(ticks) / 500.0; }
+
+    /** Execution time in nanoseconds. */
+    double ns() const { return ticksToNs(ticks); }
+};
+
+/**
+ * Owns the event queue and all components of one simulated machine.
+ * A machine can run several plans in sequence; state (caches, bank
+ * buffers) persists between runs unless reset() is called.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    /** The device kind this machine models. */
+    mem::DeviceKind device() const { return config_.device; }
+
+    /** Capabilities of the memory device. */
+    const mem::DeviceCaps &caps() const { return memory_->caps(); }
+
+    /** The device address map (used by plan builders). */
+    const mem::AddressMap &map() const { return memory_->map(); }
+
+    /**
+     * Replay one plan per core (plans.size() <= cores; remaining
+     * cores stay idle) and return timing plus merged statistics.
+     */
+    RunResult run(const std::vector<AccessPlan> &plans);
+
+    /** Convenience: run a single-core plan. */
+    RunResult run(const AccessPlan &plan);
+
+    /** Drop all cache/bank state and statistics. */
+    void reset();
+
+    /** Access to the hierarchy (tests and advanced callers). */
+    cache::Hierarchy &hierarchy() { return *hierarchy_; }
+
+    /** Access to the memory system (tests and advanced callers). */
+    mem::MemorySystem &memory() { return *memory_; }
+
+  private:
+    MachineConfig config_;
+    sim::EventQueue eq_;
+    std::unique_ptr<mem::MemorySystem> memory_;
+    std::unique_ptr<cache::Hierarchy> hierarchy_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace rcnvm::cpu
+
+#endif // RCNVM_CPU_MACHINE_HH_

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The operations a core replays: loads/stores in both orientations
+ * (the paper's load/store and cload/cstore instructions), compute
+ * delays, group-caching pin/unpin, and fences.
+ */
+
+#ifndef RCNVM_CPU_MEM_OP_HH_
+#define RCNVM_CPU_MEM_OP_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace rcnvm::cpu {
+
+/** Kind of one replayed operation. */
+enum class OpKind : std::uint8_t {
+    Load,    //!< row-oriented load
+    Store,   //!< row-oriented store
+    CLoad,   //!< column-oriented load (ISA extension)
+    CStore,  //!< column-oriented store (ISA extension)
+    CPrefetch, //!< group-caching prefetch into the shared LLC
+    GLoad,   //!< GS-DRAM gathered load (cache-bypassing)
+    Compute, //!< fixed CPU work, no memory access
+    Pin,     //!< group caching: pin [addr, addr+bytes) in the LLC
+    Unpin,   //!< group caching: release a pinned range
+    Fence,   //!< wait until all outstanding accesses complete
+};
+
+/** One operation of an access plan. */
+struct MemOp {
+    OpKind kind = OpKind::Load;
+    Addr addr = 0;
+    std::uint32_t bytes = 64;
+    std::uint32_t computeCycles = 0; //!< Compute kind: busy cycles
+    /** Address space of a Pin/Unpin range. */
+    Orientation pinOrient = Orientation::Column;
+
+    /** Orientation implied by the op kind. */
+    Orientation
+    orientation() const
+    {
+        if (kind == OpKind::Pin || kind == OpKind::Unpin ||
+            kind == OpKind::CPrefetch) {
+            return pinOrient;
+        }
+        return (kind == OpKind::CLoad || kind == OpKind::CStore)
+                   ? Orientation::Column
+                   : Orientation::Row;
+    }
+
+    /** True for operations that reach the memory hierarchy. */
+    bool
+    isMemory() const
+    {
+        switch (kind) {
+          case OpKind::Load:
+          case OpKind::Store:
+          case OpKind::CLoad:
+          case OpKind::CStore:
+          case OpKind::CPrefetch:
+          case OpKind::GLoad:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True for stores of either orientation. */
+    bool
+    isWrite() const
+    {
+        return kind == OpKind::Store || kind == OpKind::CStore;
+    }
+
+    // Convenience constructors -------------------------------------
+
+    static MemOp
+    load(Addr a, std::uint32_t bytes = 64)
+    {
+        return MemOp{OpKind::Load, a, bytes, 0};
+    }
+
+    static MemOp
+    store(Addr a, std::uint32_t bytes = 8)
+    {
+        return MemOp{OpKind::Store, a, bytes, 0};
+    }
+
+    static MemOp
+    cload(Addr a, std::uint32_t bytes = 64)
+    {
+        return MemOp{OpKind::CLoad, a, bytes, 0};
+    }
+
+    static MemOp
+    cstore(Addr a, std::uint32_t bytes = 8)
+    {
+        return MemOp{OpKind::CStore, a, bytes, 0};
+    }
+
+    static MemOp
+    gload(Addr a)
+    {
+        return MemOp{OpKind::GLoad, a, 64, 0};
+    }
+
+    static MemOp
+    cprefetch(Addr a, Orientation orient = Orientation::Column)
+    {
+        return MemOp{OpKind::CPrefetch, a, 64, 0, orient};
+    }
+
+    static MemOp
+    compute(std::uint32_t cycles)
+    {
+        return MemOp{OpKind::Compute, 0, 0, cycles};
+    }
+
+    static MemOp
+    pin(Addr a, std::uint32_t bytes,
+        Orientation orient = Orientation::Column)
+    {
+        return MemOp{OpKind::Pin, a, bytes, 0, orient};
+    }
+
+    static MemOp
+    unpin(Addr a, std::uint32_t bytes,
+          Orientation orient = Orientation::Column)
+    {
+        return MemOp{OpKind::Unpin, a, bytes, 0, orient};
+    }
+
+    static MemOp
+    fence()
+    {
+        return MemOp{OpKind::Fence, 0, 0, 0};
+    }
+};
+
+/**
+ * The per-core instruction stream of one experiment. Pin/Unpin apply
+ * to the orientation given by `pinOrient` of the builder that made
+ * the plan; for simplicity pins always target column-oriented lines
+ * (the group-caching use case).
+ */
+using AccessPlan = std::vector<MemOp>;
+
+} // namespace rcnvm::cpu
+
+#endif // RCNVM_CPU_MEM_OP_HH_

@@ -1,0 +1,118 @@
+#include "imdb/bin_packing.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rcnvm::imdb {
+
+BinPacker::BinPacker(unsigned bin_side, bool allow_rotation)
+    : binSide_(bin_side), allowRotation_(allow_rotation)
+{
+}
+
+void
+BinPacker::normalise(unsigned &w, unsigned &h, bool &rotated) const
+{
+    if (w == 0 || h == 0 || std::max(w, h) > binSide_ ||
+        (std::min(w, h) > binSide_)) {
+        rcnvm_fatal("chunk ", w, "x", h, " does not fit a ", binSide_,
+                    "x", binSide_, " subarray");
+    }
+    // Shelf heuristics pack best when items lie flat (wider than
+    // tall), so prefer the flat orientation when rotation is
+    // allowed.
+    rotated = false;
+    if (allowRotation_ && h > w) {
+        std::swap(w, h);
+        rotated = true;
+    }
+}
+
+bool
+BinPacker::tryPlaceInBin(unsigned b, unsigned w, unsigned h,
+                         bool rotated, PackSlot &slot)
+{
+    Bin &bin = bins_[b];
+    // Existing shelves: first fit whose height accommodates the
+    // item and whose remaining width is sufficient.
+    for (Shelf &shelf : bin.shelves) {
+        if (h <= shelf.height && shelf.used + w <= binSide_) {
+            slot = PackSlot{b, shelf.used, shelf.y, rotated};
+            shelf.used += w;
+            bin.usedArea += std::uint64_t{w} * h;
+            return true;
+        }
+    }
+    // Open a new shelf in this bin if vertical space remains.
+    if (bin.nextShelfY + h <= binSide_) {
+        Shelf shelf;
+        shelf.y = bin.nextShelfY;
+        shelf.height = h;
+        shelf.used = w;
+        bin.nextShelfY += h;
+        bin.shelves.push_back(shelf);
+        slot = PackSlot{b, 0, shelf.y, rotated};
+        bin.usedArea += std::uint64_t{w} * h;
+        return true;
+    }
+    return false;
+}
+
+PackSlot
+BinPacker::insert(unsigned w, unsigned h)
+{
+    bool rotated;
+    normalise(w, h, rotated);
+
+    PackSlot slot;
+    for (unsigned b = 0; b < bins_.size(); ++b) {
+        if (tryPlaceInBin(b, w, h, rotated, slot))
+            return slot;
+    }
+    // Try the other orientation before opening a new bin.
+    if (allowRotation_) {
+        for (unsigned b = 0; b < bins_.size(); ++b) {
+            if (tryPlaceInBin(b, h, w, !rotated, slot))
+                return slot;
+        }
+    }
+
+    bins_.emplace_back();
+    const unsigned b = static_cast<unsigned>(bins_.size() - 1);
+    const bool ok = tryPlaceInBin(b, w, h, rotated, slot);
+    if (!ok)
+        rcnvm_panic("fresh bin rejected an in-range item");
+    return slot;
+}
+
+std::optional<PackSlot>
+BinPacker::insertAt(unsigned bin, unsigned w, unsigned h)
+{
+    bool rotated;
+    normalise(w, h, rotated);
+    while (bins_.size() <= bin)
+        bins_.emplace_back();
+    PackSlot slot;
+    if (tryPlaceInBin(bin, w, h, rotated, slot))
+        return slot;
+    if (allowRotation_ && tryPlaceInBin(bin, h, w, !rotated, slot))
+        return slot;
+    return std::nullopt;
+}
+
+double
+BinPacker::utilization() const
+{
+    if (bins_.empty())
+        return 0.0;
+    std::uint64_t used = 0;
+    for (const Bin &bin : bins_)
+        used += bin.usedArea;
+    const double total = static_cast<double>(bins_.size()) *
+                         static_cast<double>(binSide_) *
+                         static_cast<double>(binSide_);
+    return static_cast<double>(used) / total;
+}
+
+} // namespace rcnvm::imdb

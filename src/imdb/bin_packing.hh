@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Two-dimensional online bin packing with rotatable items,
+ * implementing the inter-chunk placement of Sec. 4.5.3: table
+ * chunks are rectangles, subarrays are square bins, and chunks may
+ * be rotated 90 degrees before placement (Fujita & Hada's problem
+ * setting). A shelf-based online heuristic is used: items are
+ * placed left to right on shelves, rotated to minimise shelf
+ * height growth, opening a new shelf or bin only when necessary.
+ *
+ * Besides the classical first-fit insert(), a directed insertAt()
+ * places an item into a chosen bin; the Database uses it to spread
+ * consecutive chunks over one bin per bank (see PlacementPolicy).
+ */
+
+#ifndef RCNVM_IMDB_BIN_PACKING_HH_
+#define RCNVM_IMDB_BIN_PACKING_HH_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rcnvm::imdb {
+
+/** Where an item ended up. */
+struct PackSlot {
+    unsigned bin = 0;  //!< bin (subarray) index
+    unsigned x = 0;    //!< left edge within the bin
+    unsigned y = 0;    //!< top edge within the bin
+    bool rotated = false; //!< item was rotated 90 degrees
+};
+
+/**
+ * Online shelf packer for square bins of side `binSide`.
+ */
+class BinPacker
+{
+  public:
+    /**
+     * @param bin_side    bin width and height (1024 words)
+     * @param allow_rotation  rotate items when it packs tighter
+     */
+    explicit BinPacker(unsigned bin_side, bool allow_rotation = true);
+
+    /**
+     * Place a w x h rectangle (w, h <= binSide) into the first bin
+     * that fits, opening a new bin when none does; items too large
+     * are a fatal configuration error.
+     */
+    PackSlot insert(unsigned w, unsigned h);
+
+    /**
+     * Place a rectangle into bin @p bin specifically, opening empty
+     * bins up to that index if needed. Returns nullopt when the bin
+     * cannot fit the item.
+     */
+    std::optional<PackSlot> insertAt(unsigned bin, unsigned w,
+                                     unsigned h);
+
+    /** Number of bins opened so far. */
+    unsigned binsUsed() const
+    {
+        return static_cast<unsigned>(bins_.size());
+    }
+
+    /** Fraction of opened-bin area covered by items. */
+    double utilization() const;
+
+    /** Bin side length. */
+    unsigned binSide() const { return binSide_; }
+
+  private:
+    struct Shelf {
+        unsigned y = 0;      //!< top of the shelf
+        unsigned height = 0; //!< shelf height (max item height)
+        unsigned used = 0;   //!< occupied width
+    };
+
+    struct Bin {
+        std::vector<Shelf> shelves;
+        unsigned nextShelfY = 0;
+        std::uint64_t usedArea = 0;
+    };
+
+    /** Validate the item and flip it flat when allowed. */
+    void normalise(unsigned &w, unsigned &h, bool &rotated) const;
+
+    /** Try placing (w, h) in one specific existing bin. */
+    bool tryPlaceInBin(unsigned b, unsigned w, unsigned h,
+                       bool rotated, PackSlot &slot);
+
+    unsigned binSide_;
+    bool allowRotation_;
+    std::vector<Bin> bins_;
+};
+
+} // namespace rcnvm::imdb
+
+#endif // RCNVM_IMDB_BIN_PACKING_HH_

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Compiler primitives that translate relational operators into
+ * per-core access plans, including the paper's access-path choices
+ * (row vs. column vs. gathered) and the group-caching transform.
+ */
+
+#ifndef RCNVM_IMDB_PLAN_BUILDER_HH_
+#define RCNVM_IMDB_PLAN_BUILDER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/mem_op.hh"
+#include "imdb/database.hh"
+
+namespace rcnvm::imdb {
+
+/** CPU cost constants (cycles) used by the query compiler. */
+struct ComputeCosts {
+    unsigned compare = 1;     //!< predicate evaluation per value
+    unsigned aggregate = 1;   //!< SUM/AVG accumulation per value
+    unsigned materialize = 2; //!< output tuple materialisation
+    unsigned hash = 6;        //!< hash insert or probe per tuple
+};
+
+/**
+ * Builds one core's AccessPlan from line/word primitives. The
+ * workload layer partitions work across cores and calls one builder
+ * per core.
+ */
+class PlanBuilder
+{
+  public:
+    explicit PlanBuilder(const Database &db) : db_(&db) {}
+
+    /** The finished plan (builder resets afterwards). */
+    cpu::AccessPlan take();
+
+    /** Append a raw CPU-work op. */
+    void compute(std::uint64_t cycles);
+
+    /** Append a fence (drain outstanding accesses). */
+    void fence();
+
+    /** Emit one line access (load/cload or line store/cstore). */
+    void emitLine(const LineRef &line, bool write);
+
+    /**
+     * Emit a list of line accesses, attaching @p compute_per_line
+     * cycles of work after each.
+     */
+    void emitLines(const std::vector<LineRef> &lines, bool write,
+                   unsigned compute_per_line);
+
+    /**
+     * Scan field word @p w of tuples [t0, t1) using the placement's
+     * best order-insensitive sequence, with @p compute_per_value
+     * cycles consumed per value. Uses GS-DRAM gathers when the
+     * device and table allow it.
+     */
+    void scanFieldWord(Database::TableId id, unsigned w,
+                       std::uint64_t t0, std::uint64_t t1,
+                       unsigned compute_per_value);
+
+    /**
+     * Fetch words [w0, w1) of each listed tuple (row-oriented tuple
+     * materialisation), @p compute_per_tuple cycles each. Lines
+     * shared by adjacent listed tuples are emitted once.
+     */
+    void fetchTuples(Database::TableId id,
+                     const std::vector<std::uint64_t> &tuples,
+                     unsigned w0, unsigned w1,
+                     unsigned compute_per_tuple);
+
+    /**
+     * Fetch words [w0, w1) of the listed tuples choosing the best
+     * access path: per-tuple row fetches when matches are sparse,
+     * or column-line reads of each output word covering the
+     * matched 8-tuple groups when matches are dense enough that
+     * column-buffer locality wins (the Figure-12 trade-off).
+     */
+    void fetchTuplesBest(Database::TableId id,
+                         const std::vector<std::uint64_t> &tuples,
+                         unsigned w0, unsigned w1,
+                         unsigned compute_per_tuple);
+
+    /**
+     * Store 8-byte field word @p w of each listed tuple. On
+     * column-capable devices with column-oriented layout the store
+     * uses the column address space (cstore), keeping the write in
+     * the same space as the surrounding scan.
+     */
+    void storeFieldWord(Database::TableId id,
+                        const std::vector<std::uint64_t> &tuples,
+                        unsigned w);
+
+    /**
+     * Hash-table access: read or write the key word of each listed
+     * slot with @p compute_each cycles of hashing per access. Hash
+     * regions are row-store tables, so this is always row-oriented.
+     */
+    void hashAccess(Database::TableId hash_id,
+                    const std::vector<std::uint64_t> &slots,
+                    bool write, unsigned compute_each);
+
+    /**
+     * The Sec.-5 ordered multi-column scan: read the given field
+     * words of every tuple in [t0, t1) in strict tuple order.
+     *
+     * With @p group_lines == 0 the accesses interleave across the
+     * field columns per 8-tuple group (the column-buffer-thrashing
+     * baseline). With @p group_lines == K > 0, the group-caching
+     * transform prefetches K lines per field column, pins them in
+     * the LLC, consumes them from cache, and unpins.
+     */
+    void orderedMultiColumnScan(Database::TableId id,
+                                const std::vector<unsigned> &words,
+                                std::uint64_t t0, std::uint64_t t1,
+                                unsigned group_lines,
+                                unsigned compute_per_tuple);
+
+    /** Cost constants in use. */
+    const ComputeCosts &costs() const { return costs_; }
+
+  private:
+    const Database *db_;
+    ComputeCosts costs_;
+    cpu::AccessPlan plan_;
+};
+
+/**
+ * Order-insensitive whole-table physical scan: every 64-byte line
+ * covering the table, in (bin, row, column) order - the sequential
+ * "row-direction" scan of the Fig-17 micro-benchmarks. The caller
+ * partitions the returned lines across cores.
+ */
+std::vector<LineRef> physicalScanLines(const Database &db,
+                                       Database::TableId id);
+
+} // namespace rcnvm::imdb
+
+#endif // RCNVM_IMDB_PLAN_BUILDER_HH_

@@ -1,0 +1,43 @@
+#include "imdb/schema.hh"
+
+#include "util/logging.hh"
+
+namespace rcnvm::imdb {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields))
+{
+    unsigned offset = 0;
+    offsets_.reserve(fields_.size());
+    for (const Field &f : fields_) {
+        if (f.bytes == 0 || f.bytes % 8 != 0)
+            rcnvm_fatal("field ", f.name,
+                        ": width must be a positive multiple of 8, "
+                        "got ",
+                        f.bytes);
+        offsets_.push_back(offset);
+        offset += f.words();
+    }
+    tupleWords_ = offset;
+}
+
+Schema
+Schema::uniform(unsigned n)
+{
+    std::vector<Field> fields;
+    fields.reserve(n);
+    for (unsigned i = 1; i <= n; ++i)
+        fields.push_back(Field{"f" + std::to_string(i), 8});
+    return Schema(std::move(fields));
+}
+
+unsigned
+Schema::fieldIndex(const std::string &name) const
+{
+    for (unsigned i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name == name)
+            return i;
+    }
+    rcnvm_fatal("unknown field: ", name);
+}
+
+} // namespace rcnvm::imdb

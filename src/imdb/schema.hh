@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Relational schema metadata: fields, widths, and word offsets.
+ *
+ * RC-NVM's access granularity is one 8-byte word (Sec. 4.1), so all
+ * field widths are multiples of 8 bytes. Fields wider than one word
+ * ("wide fields", Sec. 5) span several adjacent words/columns.
+ */
+
+#ifndef RCNVM_IMDB_SCHEMA_HH_
+#define RCNVM_IMDB_SCHEMA_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcnvm::imdb {
+
+/** One field (attribute) of a table. */
+struct Field {
+    std::string name;
+    unsigned bytes = 8; //!< multiple of 8
+
+    unsigned words() const { return bytes / 8; }
+};
+
+/**
+ * An ordered list of fields plus derived word offsets.
+ */
+class Schema
+{
+  public:
+    Schema() = default;
+
+    /** Build from a field list; widths must be multiples of 8. */
+    explicit Schema(std::vector<Field> fields);
+
+    /**
+     * Convenience: @p n homogeneous 8-byte fields named f1..fn
+     * (the paper's table-a has 16, table-b has 20).
+     */
+    static Schema uniform(unsigned n);
+
+    /** Number of fields. */
+    unsigned fieldCount() const
+    {
+        return static_cast<unsigned>(fields_.size());
+    }
+
+    /** Field metadata by index. */
+    const Field &field(unsigned i) const { return fields_[i]; }
+
+    /** Index of the field named @p name; fatal when absent. */
+    unsigned fieldIndex(const std::string &name) const;
+
+    /** First word of field @p i within a tuple. */
+    unsigned wordOffset(unsigned i) const { return offsets_[i]; }
+
+    /** Words occupied by field @p i. */
+    unsigned fieldWords(unsigned i) const
+    {
+        return fields_[i].words();
+    }
+
+    /** Total words per tuple. */
+    unsigned tupleWords() const { return tupleWords_; }
+
+    /** Total bytes per tuple. */
+    unsigned tupleBytes() const { return tupleWords_ * 8; }
+
+  private:
+    std::vector<Field> fields_;
+    std::vector<unsigned> offsets_;
+    unsigned tupleWords_ = 0;
+};
+
+} // namespace rcnvm::imdb
+
+#endif // RCNVM_IMDB_SCHEMA_HH_

@@ -1,0 +1,72 @@
+#include "imdb/table.hh"
+
+#include "util/logging.hh"
+
+namespace rcnvm::imdb {
+
+Table::Table(std::string name, Schema schema, std::uint64_t tuples,
+             std::uint64_t seed)
+    : name_(std::move(name)), schema_(std::move(schema)),
+      tuples_(tuples)
+{
+    util::Random rng(seed);
+    columns_.resize(schema_.fieldCount());
+    for (unsigned f = 0; f < schema_.fieldCount(); ++f) {
+        if (schema_.field(f).words() != 1)
+            continue; // wide fields carry no predicate values
+        auto &col = columns_[f];
+        col.resize(tuples_);
+        for (std::uint64_t t = 0; t < tuples_; ++t) {
+            col[t] = static_cast<std::int64_t>(
+                rng.nextBounded(valueRange));
+        }
+    }
+}
+
+std::int64_t
+Table::value(unsigned f, std::uint64_t t) const
+{
+    if (f >= columns_.size() || columns_[f].empty())
+        rcnvm_fatal(name_, ": field ", f, " has no numeric values");
+    return columns_[f][t];
+}
+
+std::int64_t
+Table::thresholdForGreater(double selectivity) const
+{
+    if (selectivity <= 0.0)
+        return valueRange;
+    if (selectivity >= 1.0)
+        return -1;
+    return static_cast<std::int64_t>(
+        static_cast<double>(valueRange) * (1.0 - selectivity));
+}
+
+std::vector<bool>
+Table::matchGreater(unsigned f, std::int64_t x) const
+{
+    std::vector<bool> out(tuples_);
+    for (std::uint64_t t = 0; t < tuples_; ++t)
+        out[t] = value(f, t) > x;
+    return out;
+}
+
+std::vector<bool>
+Table::matchLess(unsigned f, std::int64_t x) const
+{
+    std::vector<bool> out(tuples_);
+    for (std::uint64_t t = 0; t < tuples_; ++t)
+        out[t] = value(f, t) < x;
+    return out;
+}
+
+std::vector<bool>
+Table::matchEqual(unsigned f, std::int64_t x) const
+{
+    std::vector<bool> out(tuples_);
+    for (std::uint64_t t = 0; t < tuples_; ++t)
+        out[t] = value(f, t) == x;
+    return out;
+}
+
+} // namespace rcnvm::imdb

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * An in-memory table: schema, cardinality, and synthetic contents
+ * for the numeric fields referenced by predicates.
+ */
+
+#ifndef RCNVM_IMDB_TABLE_HH_
+#define RCNVM_IMDB_TABLE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "imdb/schema.hh"
+#include "util/random.hh"
+
+namespace rcnvm::imdb {
+
+/**
+ * Table metadata plus generated values. Only 8-byte fields carry
+ * values (wide fields are opaque payloads); values are uniform in
+ * [0, valueRange) so predicate selectivity can be dialled by
+ * choosing thresholds.
+ */
+class Table
+{
+  public:
+    /** Value domain used by the generator. */
+    static constexpr std::int64_t valueRange = 100000;
+
+    /**
+     * @param name    table name ("table-a", ...)
+     * @param schema  field layout
+     * @param tuples  cardinality
+     * @param seed    RNG seed for deterministic contents
+     */
+    Table(std::string name, Schema schema, std::uint64_t tuples,
+          std::uint64_t seed);
+
+    const std::string &name() const { return name_; }
+    const Schema &schema() const { return schema_; }
+    std::uint64_t tuples() const { return tuples_; }
+
+    /** Value of 8-byte field @p f in tuple @p t. */
+    std::int64_t value(unsigned f, std::uint64_t t) const;
+
+    /**
+     * Threshold x such that roughly @p selectivity of tuples
+     * satisfy value > x (uniform distribution inverse).
+     */
+    std::int64_t thresholdForGreater(double selectivity) const;
+
+    /**
+     * Evaluate `field > x` for every tuple.
+     * @return match bitmap indexed by tuple
+     */
+    std::vector<bool> matchGreater(unsigned f, std::int64_t x) const;
+
+    /** Evaluate `field < x` for every tuple. */
+    std::vector<bool> matchLess(unsigned f, std::int64_t x) const;
+
+    /** Evaluate `field == x` for every tuple. */
+    std::vector<bool> matchEqual(unsigned f, std::int64_t x) const;
+
+  private:
+    std::string name_;
+    Schema schema_;
+    std::uint64_t tuples_;
+    /** columns_[field][tuple]; empty for wide fields. */
+    std::vector<std::vector<std::int64_t>> columns_;
+};
+
+} // namespace rcnvm::imdb
+
+#endif // RCNVM_IMDB_TABLE_HH_

@@ -1,0 +1,112 @@
+#include "mem/bank.hh"
+
+#include <algorithm>
+
+namespace rcnvm::mem {
+
+Bank::Bank(unsigned salp_subarrays)
+{
+    buffers_.resize(salp_subarrays > 0 ? salp_subarrays : 1);
+}
+
+Bank::Buffer &
+Bank::bufferFor(unsigned subarray)
+{
+    if (buffers_.size() == 1)
+        return buffers_[0];
+    return buffers_[subarray % buffers_.size()];
+}
+
+const Bank::Buffer &
+Bank::bufferFor(unsigned subarray) const
+{
+    if (buffers_.size() == 1)
+        return buffers_[0];
+    return buffers_[subarray % buffers_.size()];
+}
+
+bool
+Bank::hits(Orientation orient, unsigned subarray, unsigned index) const
+{
+    const Buffer &buf = bufferFor(subarray);
+    const BufState want = orient == Orientation::Row ? BufState::RowOpen
+                                                     : BufState::ColOpen;
+    return buf.state == want && buf.subarray == subarray &&
+           buf.index == index;
+}
+
+Bank::Service
+Bank::access(Tick now, Orientation orient, unsigned subarray,
+             unsigned index, bool isWrite, const TimingParams &t,
+             Tick bus_free)
+{
+    Buffer &buf = bufferFor(subarray);
+
+    Service s;
+    s.start = std::max(now, nextReady_);
+    Tick cursor = s.start;
+
+    const BufState want = orient == Orientation::Row ? BufState::RowOpen
+                                                     : BufState::ColOpen;
+
+    if (buf.state == want && buf.subarray == subarray &&
+        buf.index == index) {
+        s.outcome = AccessOutcome::BufferHit;
+    } else if (buf.state == BufState::Closed) {
+        s.outcome = AccessOutcome::BufferMiss;
+    } else if (buf.state == want) {
+        s.outcome = AccessOutcome::BufferConflict;
+    } else {
+        // The other-orientation buffer is active: the paper's
+        // row/column switch, which closes and flushes the active
+        // buffer before the new activate (Sec. 3).
+        s.outcome = AccessOutcome::OrientationSwitch;
+    }
+
+    if (s.outcome == AccessOutcome::BufferConflict ||
+        s.outcome == AccessOutcome::OrientationSwitch) {
+        // Precharge may not begin before tRAS has elapsed since the
+        // buffer was activated.
+        cursor = std::max(cursor, buf.lastActivate + t.cyc(t.tRAS));
+        // Flushing a dirty buffer applies the cell write pulse.
+        if (buf.dirty) {
+            cursor += t.cyc(t.tWR);
+            s.flushedDirty = true;
+        }
+        cursor += t.cyc(t.tRP);
+        buf.state = BufState::Closed;
+        buf.dirty = false;
+    }
+
+    if (buf.state == BufState::Closed) {
+        cursor += t.cyc(t.tRCD); // activate: fill the target buffer
+        buf.state = want;
+        buf.subarray = subarray;
+        buf.index = index;
+        buf.lastActivate = cursor;
+    }
+
+    // CAS issues at `cursor`; the data burst waits for the channel
+    // bus. Consecutive accesses to an open buffer pipeline at the
+    // CAS-to-CAS interval, so a streaming scan saturates the bus.
+    const Tick cas_at = cursor;
+    s.dataStart = std::max(cas_at + t.cyc(t.tCAS), bus_free);
+    s.finish = s.dataStart + t.cyc(t.tBURST);
+    s.busyUntil = cas_at + t.cyc(t.tCCD);
+
+    if (isWrite)
+        buf.dirty = true;
+
+    nextReady_ = s.busyUntil;
+    return s;
+}
+
+void
+Bank::reset()
+{
+    for (Buffer &buf : buffers_)
+        buf = Buffer{};
+    nextReady_ = 0;
+}
+
+} // namespace rcnvm::mem

@@ -1,0 +1,203 @@
+#include "mem/controller.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace rcnvm::mem {
+
+ChannelController::ChannelController(const AddressMap &map,
+                                     const TimingParams &timing,
+                                     sim::EventQueue &eq,
+                                     unsigned queue_capacity,
+                                     bool salp)
+    : map_(map),
+      timing_(timing),
+      eq_(eq),
+      capacity_(queue_capacity)
+{
+    const Geometry &g = map_.geometry();
+    banks_.assign(g.ranksPerChannel * g.banksPerRank,
+                  Bank(salp ? g.subarraysPerBank : 0));
+}
+
+unsigned
+ChannelController::bankIndex(const DecodedAddr &d) const
+{
+    return d.rank * map_.geometry().banksPerRank + d.bank;
+}
+
+unsigned
+ChannelController::bufferIndex(const DecodedAddr &d, Orientation o)
+{
+    return o == Orientation::Row ? d.row : d.col;
+}
+
+void
+ChannelController::enqueue(MemRequest req)
+{
+    // The capacity is a soft cap: demand traffic respects
+    // canAccept(), while write-backs may transiently overshoot so
+    // evictions never deadlock the hierarchy.
+    Pending p;
+    p.dec = map_.decode(req.addr, req.orient);
+    p.req = std::move(req);
+    p.enqueueTick = eq_.now();
+    queue_.push_back(std::move(p));
+    trySchedule();
+}
+
+void
+ChannelController::scheduleWakeup(Tick when)
+{
+    if (wakeupScheduled_ && wakeupAt_ <= when)
+        return;
+    wakeupScheduled_ = true;
+    wakeupAt_ = when;
+    eq_.schedule(when, [this, when] {
+        if (wakeupScheduled_ && wakeupAt_ == when) {
+            wakeupScheduled_ = false;
+            trySchedule();
+        }
+    });
+}
+
+void
+ChannelController::issueAt(std::size_t pos)
+{
+    Pending p = std::move(queue_[pos]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(pos));
+
+    Bank &bank = banks_[bankIndex(p.dec)];
+    const unsigned index = bufferIndex(p.dec, p.req.orient);
+    Bank::Service s =
+        bank.access(eq_.now(), p.req.orient, p.dec.subarray, index,
+                    p.req.isWrite, timing_, busFree_);
+
+    // A gathered line's words come from shuffled column positions
+    // across the chips; pattern translation and chip-conflict
+    // serialisation halve the useful-word rate on the bus, so the
+    // transfer occupies two burst slots (calibrated to the GS-DRAM
+    // relationship the RC-NVM paper reports).
+    if (p.req.gathered)
+        s.finish += timing_.cyc(timing_.tBURST);
+
+    busFree_ = s.finish;
+
+    // Statistics.
+    (p.req.isWrite ? stats_.writes : stats_.reads).inc();
+    if (p.req.gathered)
+        stats_.gathered.inc();
+    const bool is_row = p.req.orient == Orientation::Row;
+    (is_row ? stats_.rowAccesses : stats_.colAccesses).inc();
+    const bool hit = s.outcome == AccessOutcome::BufferHit;
+    switch (s.outcome) {
+      case AccessOutcome::BufferHit:
+        stats_.bufferHits.inc();
+        break;
+      case AccessOutcome::BufferMiss:
+        stats_.bufferMisses.inc();
+        break;
+      case AccessOutcome::BufferConflict:
+        stats_.bufferConflicts.inc();
+        break;
+      case AccessOutcome::OrientationSwitch:
+        stats_.orientationSwitches.inc();
+        break;
+    }
+    if (is_row)
+        (hit ? stats_.rowBufferHits : stats_.rowBufferMisses).inc();
+    else
+        (hit ? stats_.colBufferHits : stats_.colBufferMisses).inc();
+    stats_.queueWaitTicks.sample(
+        static_cast<double>(s.start - p.enqueueTick));
+    stats_.serviceTicks.sample(
+        static_cast<double>(s.finish - s.start));
+    stats_.busBusyTicks.inc(timing_.cyc(timing_.tBURST));
+
+    // Energy accounting (extension): activations, bursts, and cell
+    // write pulses for dirty-buffer flushes.
+    if (s.outcome != AccessOutcome::BufferHit)
+        stats_.energyPJ += timing_.eActivate;
+    if (s.flushedDirty)
+        stats_.energyPJ += timing_.eWritePulse;
+    stats_.energyPJ += p.req.isWrite ? timing_.eWriteBurst
+                                     : timing_.eReadBurst;
+    if (p.req.gathered)
+        stats_.energyPJ += timing_.eReadBurst; // second burst slot
+
+    if (p.req.onComplete) {
+        auto cb = std::move(p.req.onComplete);
+        eq_.schedule(s.finish,
+                     [cb = std::move(cb), finish = s.finish] {
+                         cb(finish);
+                     });
+    }
+}
+
+void
+ChannelController::trySchedule()
+{
+    for (;;) {
+        if (queue_.empty())
+            return;
+
+        const Tick now = eq_.now();
+        std::size_t pick = queue_.size();
+        bool pick_is_hit = false;
+        Tick earliest_busy = std::numeric_limits<Tick>::max();
+
+        // The oldest request may veto younger buffer hits once it
+        // has been bypassed too often (starvation control).
+        const bool oldest_forced =
+            queue_.front().bypassed >= starvationCap;
+
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            const Pending &p = queue_[i];
+            const Bank &bank = banks_[bankIndex(p.dec)];
+            if (bank.nextReady() > now) {
+                earliest_busy =
+                    std::min(earliest_busy, bank.nextReady());
+                continue;
+            }
+            const bool is_hit =
+                bank.hits(p.req.orient, p.dec.subarray,
+                          bufferIndex(p.dec, p.req.orient));
+            if (is_hit && !oldest_forced) {
+                pick = i;
+                pick_is_hit = true;
+                break; // oldest ready buffer hit wins
+            }
+            if (pick == queue_.size())
+                pick = i; // remember oldest ready request
+            if (oldest_forced && i == 0)
+                break; // serve the starving head immediately
+        }
+
+        if (pick == queue_.size()) {
+            // Nothing ready: wake up when the first bank frees up.
+            if (earliest_busy != std::numeric_limits<Tick>::max())
+                scheduleWakeup(earliest_busy);
+            return;
+        }
+
+        if (pick_is_hit && pick != 0)
+            ++queue_.front().bypassed;
+
+        issueAt(pick);
+    }
+}
+
+void
+ChannelController::reset()
+{
+    queue_.clear();
+    for (auto &bank : banks_)
+        bank.reset();
+    busFree_ = 0;
+    wakeupScheduled_ = false;
+    stats_ = ControllerStats{};
+}
+
+} // namespace rcnvm::mem

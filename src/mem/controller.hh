@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Per-channel memory controller with an FR-FCFS scheduler
+ * (first-ready, first-come-first-served; Rixner et al.).
+ */
+
+#ifndef RCNVM_MEM_CONTROLLER_HH_
+#define RCNVM_MEM_CONTROLLER_HH_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mem/bank.hh"
+#include "mem/geometry.hh"
+#include "mem/request.hh"
+#include "mem/timing.hh"
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace rcnvm::mem {
+
+/** Statistics collected by one channel controller. */
+struct ControllerStats {
+    util::Counter reads;
+    util::Counter writes;
+    util::Counter gathered;
+    util::Counter rowAccesses;
+    util::Counter colAccesses;
+    util::Counter bufferHits;
+    util::Counter bufferMisses;
+    util::Counter bufferConflicts;
+    util::Counter orientationSwitches;
+    util::Counter rowBufferHits;
+    util::Counter rowBufferMisses; //!< miss + conflict + switch (row)
+    util::Counter colBufferHits;
+    util::Counter colBufferMisses;
+    util::Sampled queueWaitTicks;
+    util::Sampled serviceTicks;
+    util::Counter busBusyTicks;
+    double energyPJ = 0.0; //!< accumulated device energy
+};
+
+/**
+ * One channel: a request queue, the channel's banks, and the shared
+ * data bus. Requests complete asynchronously via their callbacks.
+ *
+ * FR-FCFS: the oldest request that hits an open buffer on a ready
+ * bank is served first; otherwise the oldest request whose bank is
+ * ready. A starvation cap bounds how many times a younger buffer
+ * hit may bypass the oldest request.
+ */
+class ChannelController
+{
+  public:
+    /**
+     * @param map      address map shared by the memory system
+     * @param timing   device timing parameters
+     * @param eq       simulation event queue
+     * @param queue_capacity  request-queue depth (Table 1: 32)
+     * @param salp     give each subarray its own buffer pair
+     *                 (subarray-level-parallelism extension)
+     */
+    ChannelController(const AddressMap &map, const TimingParams &timing,
+                      sim::EventQueue &eq, unsigned queue_capacity = 32,
+                      bool salp = false);
+
+    /** True when the request queue has room. */
+    bool canAccept() const { return queue_.size() < capacity_; }
+
+    /** Add a request (caller must have checked canAccept). */
+    void enqueue(MemRequest req);
+
+    /** Number of queued (not yet issued) requests. */
+    std::size_t queued() const { return queue_.size(); }
+
+    /** Controller statistics. */
+    const ControllerStats &stats() const { return stats_; }
+
+    /** Clear statistics and bank state. */
+    void reset();
+
+  private:
+    struct Pending {
+        MemRequest req;
+        DecodedAddr dec;
+        Tick enqueueTick;
+        unsigned bypassed = 0;
+    };
+
+    /** Flat bank index for a decoded address. */
+    unsigned bankIndex(const DecodedAddr &d) const;
+
+    /** Buffer index within the bank for a request orientation. */
+    static unsigned bufferIndex(const DecodedAddr &d, Orientation o);
+
+    /** Issue as many requests as are ready right now. */
+    void trySchedule();
+
+    /** Arrange a future trySchedule call at @p when. */
+    void scheduleWakeup(Tick when);
+
+    /** Serve the queue entry at @p pos. */
+    void issueAt(std::size_t pos);
+
+    const AddressMap &map_;
+    TimingParams timing_;
+    sim::EventQueue &eq_;
+    unsigned capacity_;
+    std::deque<Pending> queue_;
+    std::vector<Bank> banks_;
+    Tick busFree_ = 0;
+    Tick wakeupAt_ = 0;
+    bool wakeupScheduled_ = false;
+    ControllerStats stats_;
+
+    /** Max buffer-hit bypasses of the oldest request. */
+    static constexpr unsigned starvationCap = 16;
+};
+
+} // namespace rcnvm::mem
+
+#endif // RCNVM_MEM_CONTROLLER_HH_

@@ -1,0 +1,141 @@
+#include "mem/geometry.hh"
+
+#include "util/logging.hh"
+
+namespace rcnvm::mem {
+
+using util::bits;
+using util::isPowerOfTwo;
+using util::log2i;
+
+Geometry
+Geometry::rcNvm()
+{
+    Geometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 4;
+    g.banksPerRank = 8;
+    g.subarraysPerBank = 8;
+    g.rowsPerSubarray = 1024;
+    g.colsPerSubarray = 1024;
+    return g;
+}
+
+Geometry
+Geometry::rram()
+{
+    // Same physical organisation as RC-NVM; only row-oriented
+    // access is wired up.
+    return rcNvm();
+}
+
+Geometry
+Geometry::dram()
+{
+    Geometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 2;
+    g.banksPerRank = 8;
+    g.subarraysPerBank = 1;
+    g.rowsPerSubarray = 65536;
+    g.colsPerSubarray = 256;
+    return g;
+}
+
+AddressMap::AddressMap(const Geometry &geometry) : geo_(geometry)
+{
+    const auto check = [](unsigned v, const char *what) {
+        if (!isPowerOfTwo(v))
+            rcnvm_fatal("geometry field not a power of two: ", what,
+                        " = ", v);
+    };
+    check(geo_.channels, "channels");
+    check(geo_.ranksPerChannel, "ranksPerChannel");
+    check(geo_.banksPerRank, "banksPerRank");
+    check(geo_.subarraysPerBank, "subarraysPerBank");
+    check(geo_.rowsPerSubarray, "rowsPerSubarray");
+    check(geo_.colsPerSubarray, "colsPerSubarray");
+    check(geo_.wordBytes, "wordBytes");
+
+    offsetBits_ = log2i(geo_.wordBytes);
+    minorBits_ = log2i(geo_.colsPerSubarray);
+    majorBits_ = log2i(geo_.rowsPerSubarray);
+    subarrayBits_ = log2i(geo_.subarraysPerBank);
+    bankBits_ = log2i(geo_.banksPerRank);
+    rankBits_ = log2i(geo_.ranksPerChannel);
+    channelBits_ = log2i(geo_.channels);
+    totalBits_ = offsetBits_ + minorBits_ + majorBits_ + subarrayBits_ +
+                 bankBits_ + rankBits_ + channelBits_;
+}
+
+Addr
+AddressMap::encode(const DecodedAddr &d, Orientation o) const
+{
+    // Field A is the slower-varying index, field B the faster one.
+    const bool row_oriented = o == Orientation::Row;
+    const unsigned a = row_oriented ? d.row : d.col;
+    const unsigned b = row_oriented ? d.col : d.row;
+    const unsigned a_bits = row_oriented ? majorBits_ : minorBits_;
+    const unsigned b_bits = row_oriented ? minorBits_ : majorBits_;
+
+    Addr addr = 0;
+    unsigned shift = 0;
+    addr |= Addr{d.offset};
+    shift += offsetBits_;
+    addr |= Addr{b} << shift;
+    shift += b_bits;
+    addr |= Addr{a} << shift;
+    shift += a_bits;
+    addr |= Addr{d.subarray} << shift;
+    shift += subarrayBits_;
+    addr |= Addr{d.bank} << shift;
+    shift += bankBits_;
+    addr |= Addr{d.rank} << shift;
+    shift += rankBits_;
+    addr |= Addr{d.channel} << shift;
+    return addr;
+}
+
+DecodedAddr
+AddressMap::decode(Addr a, Orientation o) const
+{
+    const bool row_oriented = o == Orientation::Row;
+    const unsigned a_bits = row_oriented ? majorBits_ : minorBits_;
+    const unsigned b_bits = row_oriented ? minorBits_ : majorBits_;
+
+    DecodedAddr d;
+    unsigned shift = 0;
+    d.offset = static_cast<unsigned>(bits(a, shift, offsetBits_));
+    shift += offsetBits_;
+    const unsigned b = static_cast<unsigned>(bits(a, shift, b_bits));
+    shift += b_bits;
+    const unsigned a_field = static_cast<unsigned>(bits(a, shift, a_bits));
+    shift += a_bits;
+    d.subarray = static_cast<unsigned>(bits(a, shift, subarrayBits_));
+    shift += subarrayBits_;
+    d.bank = static_cast<unsigned>(bits(a, shift, bankBits_));
+    shift += bankBits_;
+    d.rank = static_cast<unsigned>(bits(a, shift, rankBits_));
+    shift += rankBits_;
+    d.channel = static_cast<unsigned>(bits(a, shift, channelBits_));
+
+    d.row = row_oriented ? a_field : b;
+    d.col = row_oriented ? b : a_field;
+    return d;
+}
+
+Addr
+AddressMap::convert(Addr a, Orientation from, Orientation to) const
+{
+    if (from == to)
+        return a;
+    return encode(decode(a, from), to);
+}
+
+Addr
+AddressMap::lineAddr(Addr a, unsigned lineBytes) const
+{
+    return util::alignDown(a, lineBytes);
+}
+
+} // namespace rcnvm::mem

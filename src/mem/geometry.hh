@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Physical geometry of a memory device and the dual addressing
+ * scheme of Figure 7.
+ */
+
+#ifndef RCNVM_MEM_GEOMETRY_HH_
+#define RCNVM_MEM_GEOMETRY_HH_
+
+#include <cstdint>
+
+#include "util/bitfield.hh"
+#include "util/types.hh"
+
+namespace rcnvm::mem {
+
+/**
+ * Counts of each level of the memory hierarchy. All values must be
+ * powers of two so addresses decompose into bit fields.
+ *
+ * The row/column counts are per subarray. Conventional devices
+ * (DRAM) are modelled with subarraysPerBank == 1 and an asymmetric
+ * row/column shape; dual-addressable devices use square subarrays.
+ */
+struct Geometry {
+    unsigned channels = 2;
+    unsigned ranksPerChannel = 4;
+    unsigned banksPerRank = 8;
+    unsigned subarraysPerBank = 8;
+    unsigned rowsPerSubarray = 1024;
+    unsigned colsPerSubarray = 1024;
+    unsigned wordBytes = 8; //!< intra-bus granularity (3 offset bits)
+
+    /** Capacity in bytes. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return std::uint64_t{channels} * ranksPerChannel * banksPerRank *
+               subarraysPerBank * rowsPerSubarray * colsPerSubarray *
+               wordBytes;
+    }
+
+    /** Bytes held by one subarray. */
+    std::uint64_t
+    subarrayBytes() const
+    {
+        return std::uint64_t{rowsPerSubarray} * colsPerSubarray *
+               wordBytes;
+    }
+
+    /** Bytes in one physical row of a subarray (row buffer size). */
+    std::uint64_t rowBytes() const
+    {
+        return std::uint64_t{colsPerSubarray} * wordBytes;
+    }
+
+    /** Bytes in one physical column of a subarray. */
+    std::uint64_t columnBytes() const
+    {
+        return std::uint64_t{rowsPerSubarray} * wordBytes;
+    }
+
+    /** The RC-NVM geometry of Table 1 (4 GB, 1024x1024 subarrays). */
+    static Geometry rcNvm();
+
+    /** The conventional RRAM geometry of Table 1. */
+    static Geometry rram();
+
+    /** The DDR3 DRAM geometry of Table 1 (65536x256 banks). */
+    static Geometry dram();
+};
+
+/** A fully decoded physical location. */
+struct DecodedAddr {
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    unsigned subarray = 0;
+    unsigned row = 0;    //!< row index within the subarray
+    unsigned col = 0;    //!< column (word) index within the subarray
+    unsigned offset = 0; //!< byte offset within the 8-byte word
+
+    bool operator==(const DecodedAddr &) const = default;
+};
+
+/**
+ * The Figure-7 address mapper.
+ *
+ * Bit layout, most to least significant:
+ *
+ *   channel | rank | bank | subarray | A | B | intra-bus offset
+ *
+ * where (A, B) = (row, column) for a row-oriented address and
+ * (column, row) for a column-oriented address. Incrementing a
+ * row-oriented address walks along a physical row; incrementing a
+ * column-oriented address walks down a physical column; converting
+ * between the two is a swap of the row and column fields.
+ */
+class AddressMap
+{
+  public:
+    /** Build a mapper for @p geometry (all counts powers of two). */
+    explicit AddressMap(const Geometry &geometry);
+
+    /** The geometry this map was built for. */
+    const Geometry &geometry() const { return geo_; }
+
+    /** Total number of address bits used. */
+    unsigned addressBits() const { return totalBits_; }
+
+    /** Encode a decoded location as an address of @p o orientation. */
+    Addr encode(const DecodedAddr &d, Orientation o) const;
+
+    /** Decode an @p o -oriented address. */
+    DecodedAddr decode(Addr a, Orientation o) const;
+
+    /**
+     * Re-express an address in the other orientation; the paper's
+     * Row2ColAddr/Col2RowAddr primitive (Sec. 4.2.1).
+     */
+    Addr convert(Addr a, Orientation from, Orientation to) const;
+
+    /**
+     * Align an @p o -oriented address down to the start of its
+     * 64-byte cache line (8 consecutive words in that orientation).
+     */
+    Addr lineAddr(Addr a, unsigned lineBytes = 64) const;
+
+  private:
+    Geometry geo_;
+    unsigned offsetBits_;
+    unsigned minorBits_; //!< B field width (cols for row orientation)
+    unsigned majorBits_; //!< A field width
+    unsigned subarrayBits_;
+    unsigned bankBits_;
+    unsigned rankBits_;
+    unsigned channelBits_;
+    unsigned totalBits_;
+};
+
+} // namespace rcnvm::mem
+
+#endif // RCNVM_MEM_GEOMETRY_HH_

@@ -1,0 +1,122 @@
+#include "mem/memory_system.hh"
+
+#include "util/logging.hh"
+
+namespace rcnvm::mem {
+
+Geometry
+geometryFor(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Dram:
+      case DeviceKind::GsDram:
+        return Geometry::dram();
+      case DeviceKind::Rram:
+        return Geometry::rram();
+      case DeviceKind::RcNvm:
+        return Geometry::rcNvm();
+    }
+    rcnvm_panic("unknown device kind");
+}
+
+MemorySystem::MemorySystem(DeviceKind kind, sim::EventQueue &eq)
+    : MemorySystem(kind, eq, timingFor(kind))
+{
+}
+
+MemorySystem::MemorySystem(DeviceKind kind, sim::EventQueue &eq,
+                           const TimingParams &timing, bool salp)
+    : kind_(kind),
+      caps_(capsFor(kind)),
+      map_(geometryFor(kind)),
+      eq_(eq)
+{
+    for (unsigned c = 0; c < map_.geometry().channels; ++c) {
+        channels_.push_back(std::make_unique<ChannelController>(
+            map_, timing, eq_, 32, salp));
+    }
+}
+
+bool
+MemorySystem::canAccept(Addr addr, Orientation orient) const
+{
+    const DecodedAddr d = map_.decode(addr, orient);
+    return channels_[d.channel]->canAccept();
+}
+
+void
+MemorySystem::issue(MemRequest req)
+{
+    if (req.orient == Orientation::Column && !caps_.columnAccess) {
+        rcnvm_panic("column-oriented request issued to ",
+                    toString(kind_),
+                    ", which has no column access support");
+    }
+    if (req.gathered && !caps_.gather)
+        rcnvm_panic("gathered request issued to ", toString(kind_));
+
+    const DecodedAddr d = map_.decode(req.addr, req.orient);
+    channels_[d.channel]->enqueue(std::move(req));
+}
+
+util::StatsMap
+MemorySystem::stats() const
+{
+    util::StatsMap out;
+    double wait_sum = 0, wait_count = 0;
+    double service_sum = 0, service_count = 0;
+    for (const auto &ch : channels_) {
+        const ControllerStats &s = ch->stats();
+        out.add("mem.reads", static_cast<double>(s.reads.value()));
+        out.add("mem.writes", static_cast<double>(s.writes.value()));
+        out.add("mem.gathered",
+                static_cast<double>(s.gathered.value()));
+        out.add("mem.rowAccesses",
+                static_cast<double>(s.rowAccesses.value()));
+        out.add("mem.colAccesses",
+                static_cast<double>(s.colAccesses.value()));
+        out.add("mem.bufferHits",
+                static_cast<double>(s.bufferHits.value()));
+        out.add("mem.bufferMisses",
+                static_cast<double>(s.bufferMisses.value()));
+        out.add("mem.bufferConflicts",
+                static_cast<double>(s.bufferConflicts.value()));
+        out.add("mem.orientationSwitches",
+                static_cast<double>(s.orientationSwitches.value()));
+        out.add("mem.rowBufferHits",
+                static_cast<double>(s.rowBufferHits.value()));
+        out.add("mem.rowBufferMisses",
+                static_cast<double>(s.rowBufferMisses.value()));
+        out.add("mem.colBufferHits",
+                static_cast<double>(s.colBufferHits.value()));
+        out.add("mem.colBufferMisses",
+                static_cast<double>(s.colBufferMisses.value()));
+        out.add("mem.busBusyTicks",
+                static_cast<double>(s.busBusyTicks.value()));
+        out.add("mem.energyPJ", s.energyPJ);
+        wait_sum += s.queueWaitTicks.sum();
+        wait_count += static_cast<double>(s.queueWaitTicks.count());
+        service_sum += s.serviceTicks.sum();
+        service_count += static_cast<double>(s.serviceTicks.count());
+    }
+    out.set("mem.requests",
+            out.get("mem.reads") + out.get("mem.writes"));
+    out.set("mem.avgQueueWaitTicks",
+            wait_count > 0 ? wait_sum / wait_count : 0.0);
+    out.set("mem.avgServiceTicks",
+            service_count > 0 ? service_sum / service_count : 0.0);
+    const double hits = out.get("mem.bufferHits");
+    const double total = out.get("mem.requests");
+    out.set("mem.bufferMissRate",
+            total > 0 ? 1.0 - hits / total : 0.0);
+    return out;
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &ch : channels_)
+        ch->reset();
+}
+
+} // namespace rcnvm::mem

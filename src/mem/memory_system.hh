@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The main-memory facade: address map, per-channel controllers, and
+ * aggregate statistics for one of the four evaluated devices.
+ */
+
+#ifndef RCNVM_MEM_MEMORY_SYSTEM_HH_
+#define RCNVM_MEM_MEMORY_SYSTEM_HH_
+
+#include <memory>
+#include <vector>
+
+#include "mem/controller.hh"
+#include "mem/geometry.hh"
+#include "mem/request.hh"
+#include "mem/timing.hh"
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+
+namespace rcnvm::mem {
+
+/**
+ * A complete main-memory subsystem (RC-NVM, RRAM, DRAM, or GS-DRAM):
+ * the Figure-6 organisation of channels x ranks x banks x subarrays
+ * behind per-channel FR-FCFS controllers.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param kind    which of the four devices to model
+     * @param eq      simulation event queue
+     * @param timing  timing override (defaults to the Table-1 preset)
+     */
+    MemorySystem(DeviceKind kind, sim::EventQueue &eq);
+    MemorySystem(DeviceKind kind, sim::EventQueue &eq,
+                 const TimingParams &timing, bool salp = false);
+
+    /** Device kind being modelled. */
+    DeviceKind kind() const { return kind_; }
+
+    /** Capability set (column access, gather). */
+    const DeviceCaps &caps() const { return caps_; }
+
+    /** The device's dual (or single) address map. */
+    const AddressMap &map() const { return map_; }
+
+    /** True when a request can be queued right now. */
+    bool canAccept(Addr addr, Orientation orient) const;
+
+    /**
+     * Queue a request. Column-oriented requests are rejected with a
+     * panic on devices without column access (the compiler must not
+     * emit them).
+     */
+    void issue(MemRequest req);
+
+    /** Aggregate statistics over all channels. */
+    util::StatsMap stats() const;
+
+    /** Reset controllers, banks, and statistics. */
+    void reset();
+
+  private:
+    DeviceKind kind_;
+    DeviceCaps caps_;
+    AddressMap map_;
+    sim::EventQueue &eq_;
+    std::vector<std::unique_ptr<ChannelController>> channels_;
+};
+
+/** Geometry preset for a device kind. */
+Geometry geometryFor(DeviceKind kind);
+
+} // namespace rcnvm::mem
+
+#endif // RCNVM_MEM_MEMORY_SYSTEM_HH_

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The memory request type exchanged between the cache hierarchy and
+ * the memory controllers.
+ */
+
+#ifndef RCNVM_MEM_REQUEST_HH_
+#define RCNVM_MEM_REQUEST_HH_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hh"
+
+namespace rcnvm::mem {
+
+/**
+ * One memory transaction (normally a 64-byte line fill or
+ * write-back). The orientation selects which address space the
+ * address lives in and which bank buffer serves it; `gathered`
+ * marks a GS-DRAM in-row gather access.
+ */
+struct MemRequest {
+    Addr addr = 0;
+    Orientation orient = Orientation::Row;
+    bool isWrite = false;
+    unsigned bytes = 64;
+    bool gathered = false;
+
+    /** Invoked exactly once with the completion tick. May be empty
+     *  for fire-and-forget write-backs. */
+    std::function<void(Tick)> onComplete;
+};
+
+} // namespace rcnvm::mem
+
+#endif // RCNVM_MEM_REQUEST_HH_

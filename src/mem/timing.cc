@@ -1,0 +1,120 @@
+#include "mem/timing.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rcnvm::mem {
+
+const char *
+toString(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Dram:
+        return "DRAM";
+      case DeviceKind::Rram:
+        return "RRAM";
+      case DeviceKind::RcNvm:
+        return "RC-NVM";
+      case DeviceKind::GsDram:
+        return "GS-DRAM";
+    }
+    return "?";
+}
+
+TimingParams
+TimingParams::ddr3_1333()
+{
+    TimingParams t;
+    // Cycle unit is the 750 ps transfer (beat) time of DDR3-1333;
+    // tRCD + tCAS then matches the paper's 14 ns access time.
+    t.clkPeriod = 750;
+    t.tCAS = 10;
+    t.tRCD = 9;
+    t.tRP = 9;
+    t.tRAS = 24;
+    t.tBURST = 8; // BL8: eight 8-byte beats = 6 ns per line
+    t.tCCD = 8;   // back-to-back bursts saturate the bus
+    t.tWR = 13;   // ~10 ns write recovery
+    t.eActivate = 15000.0; // 2 KB destructive read + restore
+    t.eReadBurst = 4000.0;
+    t.eWriteBurst = 4500.0;
+    t.eWritePulse = 0.0; // DRAM restores rows during precharge
+    return t;
+}
+
+TimingParams
+TimingParams::rram()
+{
+    TimingParams t;
+    t.clkPeriod = 2500; // LPDDR3-800, 400 MHz clock
+    t.tCAS = 6;
+    t.tRCD = 10; // 25 ns read access time
+    t.tRP = 1;   // no destructive read: nothing to restore
+    t.tRAS = 0;
+    t.tBURST = 4; // eight beats at 800 MT/s = 10 ns per line
+    t.tCCD = 4;
+    t.tWR = 4; // 10 ns write pulse
+    // Crossbar sensing reads non-destructively (no restore), but
+    // the cell write pulse is expensive.
+    t.eActivate = 9000.0;
+    t.eReadBurst = 3500.0;
+    t.eWriteBurst = 3800.0;
+    t.eWritePulse = 45000.0;
+    return t;
+}
+
+TimingParams
+TimingParams::rcNvm()
+{
+    TimingParams t = rram();
+    t.tRCD = 12; // 29-30 ns read access: mux + routing overhead
+    t.tWR = 6;   // 15 ns write pulse
+    // Extra multiplexers load every access slightly.
+    t.eActivate = 9900.0;
+    t.eReadBurst = 3850.0;
+    t.eWriteBurst = 4180.0;
+    t.eWritePulse = 49500.0;
+    return t;
+}
+
+TimingParams
+TimingParams::withCellLatency(double read_ns, double write_ns) const
+{
+    TimingParams t = *this;
+    const double period_ns =
+        static_cast<double>(clkPeriod) / ticksPerNs;
+    t.tRCD = static_cast<Cycles>(std::ceil(read_ns / period_ns));
+    t.tWR = static_cast<Cycles>(std::ceil(write_ns / period_ns));
+    if (t.tRCD == 0)
+        t.tRCD = 1;
+    if (t.tWR == 0)
+        t.tWR = 1;
+    return t;
+}
+
+DeviceCaps
+capsFor(DeviceKind kind)
+{
+    DeviceCaps caps;
+    caps.columnAccess = kind == DeviceKind::RcNvm;
+    caps.gather = kind == DeviceKind::GsDram;
+    return caps;
+}
+
+TimingParams
+timingFor(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Dram:
+      case DeviceKind::GsDram:
+        return TimingParams::ddr3_1333();
+      case DeviceKind::Rram:
+        return TimingParams::rram();
+      case DeviceKind::RcNvm:
+        return TimingParams::rcNvm();
+    }
+    rcnvm_panic("unknown device kind");
+}
+
+} // namespace rcnvm::mem

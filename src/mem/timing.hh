@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Device timing parameters (Table 1) and the device kind taxonomy.
+ */
+
+#ifndef RCNVM_MEM_TIMING_HH_
+#define RCNVM_MEM_TIMING_HH_
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace rcnvm::mem {
+
+/** The four memory devices evaluated in the paper. */
+enum class DeviceKind {
+    Dram,   //!< DDR3-1333 DRAM, row-oriented only
+    Rram,   //!< LPDDR3-800 crossbar RRAM, row-oriented only
+    RcNvm,  //!< dual-addressable RRAM (the paper's contribution)
+    GsDram, //!< DDR3 DRAM with gather-scatter support (baseline)
+};
+
+/** Human-readable device name. */
+const char *toString(DeviceKind kind);
+
+/**
+ * Timing parameters in device clock cycles, following Table 1.
+ *
+ * The paper's "read access time" equals tRCD x clock period (25 ns
+ * for RRAM at 400 MHz, 29/30 ns for RC-NVM); the "write pulse width"
+ * is the cell write time applied by the write drivers.
+ */
+struct TimingParams {
+    Tick clkPeriod = 2500; //!< device clock period in ticks (ps)
+    Cycles tCAS = 6;   //!< column access strobe latency
+    Cycles tRCD = 10;  //!< activate (buffer fill) latency
+    Cycles tRP = 1;    //!< precharge / buffer close latency
+    Cycles tRAS = 0;   //!< minimum activate-to-precharge interval
+    Cycles tBURST = 4; //!< 64-byte burst duration on the bus
+    Cycles tCCD = 4;   //!< CAS-to-CAS gap (burst pipelining)
+    Cycles tWR = 4;    //!< cell write pulse width in cycles
+
+    // Representative per-command energies in picojoules, used by
+    // the energy-accounting extension (values follow the usual
+    // DDR3/RRAM modelling literature; relative magnitudes are what
+    // matters for the comparisons).
+    double eActivate = 15000.0;   //!< buffer fill (ACT) + precharge
+    double eReadBurst = 4000.0;   //!< one 64-byte read burst
+    double eWriteBurst = 4500.0;  //!< one 64-byte write burst
+    double eWritePulse = 20000.0; //!< cell write-back of a dirty buffer
+
+    /** Ticks for @p c device cycles. */
+    Tick cyc(Cycles c) const { return c * clkPeriod; }
+
+    /** DDR3-1333 parameters from Table 1. */
+    static TimingParams ddr3_1333();
+
+    /** LPDDR3-800 RRAM parameters from Table 1 (Panasonic model). */
+    static TimingParams rram();
+
+    /** RC-NVM parameters from Table 1 (RRAM + mux overhead). */
+    static TimingParams rcNvm();
+
+    /**
+     * Scale the cell read access time (tRCD) and write pulse width
+     * (tWR) to the given nanosecond values; used by the Figure-22
+     * sensitivity sweep.
+     */
+    TimingParams withCellLatency(double read_ns, double write_ns) const;
+};
+
+/** Capabilities that differ between the four devices. */
+struct DeviceCaps {
+    bool columnAccess = false; //!< supports cload/cstore
+    bool gather = false;       //!< GS-DRAM power-of-2 gather
+};
+
+/** Capability set for a device kind. */
+DeviceCaps capsFor(DeviceKind kind);
+
+/** Timing preset for a device kind. */
+TimingParams timingFor(DeviceKind kind);
+
+} // namespace rcnvm::mem
+
+#endif // RCNVM_MEM_TIMING_HH_

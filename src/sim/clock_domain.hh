@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Clock domains convert between cycles of a component clock and
+ * global simulation ticks (picoseconds).
+ */
+
+#ifndef RCNVM_SIM_CLOCK_DOMAIN_HH_
+#define RCNVM_SIM_CLOCK_DOMAIN_HH_
+
+#include "util/types.hh"
+
+namespace rcnvm::sim {
+
+/**
+ * A fixed-frequency clock domain.
+ *
+ * The CPU runs at 2 GHz (500 ps), DDR3-1333 devices at 666 MHz
+ * (750 ps bus clock), and LPDDR3-800 devices at 400 MHz (2500 ps).
+ */
+class ClockDomain
+{
+  public:
+    /** Create a domain whose clock period is @p period_ticks. */
+    explicit ClockDomain(Tick period_ticks) : period_(period_ticks) {}
+
+    /** Clock period in ticks. */
+    Tick period() const { return period_; }
+
+    /** Convert a cycle count to a tick duration. */
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** Convert a tick duration to whole cycles, rounding up. */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+    /** The first clock edge at or after @p t. */
+    Tick
+    nextEdgeAt(Tick t) const
+    {
+        return ((t + period_ - 1) / period_) * period_;
+    }
+
+  private:
+    Tick period_;
+};
+
+/** CPU clock domain used throughout the paper's configuration. */
+inline ClockDomain
+cpuClock()
+{
+    return ClockDomain(500); // 2 GHz
+}
+
+} // namespace rcnvm::sim
+
+#endif // RCNVM_SIM_CLOCK_DOMAIN_HH_

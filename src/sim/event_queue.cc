@@ -1,0 +1,42 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace rcnvm::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        rcnvm_panic("event scheduled in the past: ", when, " < ", now_);
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // Copy out before pop: the callback may schedule new events.
+        Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.when;
+        ++executed_;
+        entry.cb();
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.when;
+        ++executed_;
+        entry.cb();
+    }
+    if (now_ < limit)
+        now_ = limit;
+}
+
+} // namespace rcnvm::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Components schedule callbacks at absolute ticks (1 tick = 1 ps);
+ * the queue executes them in tick order, breaking ties by insertion
+ * order so simulations are fully deterministic.
+ */
+
+#ifndef RCNVM_SIM_EVENT_QUEUE_HH_
+#define RCNVM_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace rcnvm::sim {
+
+/**
+ * A deterministic tick-ordered event queue.
+ *
+ * Events are arbitrary callables. The queue owns no component state;
+ * everything interesting happens inside the callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute tick @p when.
+     *  @pre when >= now() */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Run events until the queue is empty. */
+    void run();
+
+    /** Run events with tick <= @p limit; later events stay queued. */
+    void runUntil(Tick limit);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace rcnvm::sim
+
+#endif // RCNVM_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,188 @@
+#include "trace/trace_io.hh"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rcnvm::trace {
+
+using cpu::MemOp;
+using cpu::OpKind;
+
+namespace {
+
+char
+orientChar(Orientation o)
+{
+    return o == Orientation::Row ? 'R' : 'C';
+}
+
+Orientation
+parseOrient(const std::string &token, unsigned line_no)
+{
+    if (token == "R")
+        return Orientation::Row;
+    if (token == "C")
+        return Orientation::Column;
+    rcnvm_fatal("trace line ", line_no,
+                ": expected orientation R or C, got '", token, "'");
+}
+
+void
+writeOp(std::ostream &os, const MemOp &op)
+{
+    const auto hex = [](Addr a) {
+        std::ostringstream oss;
+        oss << "0x" << std::hex << a;
+        return oss.str();
+    };
+    switch (op.kind) {
+      case OpKind::Load:
+        os << "L " << hex(op.addr) << "\n";
+        return;
+      case OpKind::Store:
+        os << "S " << hex(op.addr) << " " << op.bytes << "\n";
+        return;
+      case OpKind::CLoad:
+        os << "CL " << hex(op.addr) << "\n";
+        return;
+      case OpKind::CStore:
+        os << "CS " << hex(op.addr) << " " << op.bytes << "\n";
+        return;
+      case OpKind::CPrefetch:
+        os << "CP " << hex(op.addr) << " "
+           << orientChar(op.pinOrient) << "\n";
+        return;
+      case OpKind::GLoad:
+        os << "G " << hex(op.addr) << "\n";
+        return;
+      case OpKind::Compute:
+        os << "C " << op.computeCycles << "\n";
+        return;
+      case OpKind::Pin:
+        os << "P " << hex(op.addr) << " " << op.bytes << " "
+           << orientChar(op.pinOrient) << "\n";
+        return;
+      case OpKind::Unpin:
+        os << "U " << hex(op.addr) << " " << op.bytes << " "
+           << orientChar(op.pinOrient) << "\n";
+        return;
+      case OpKind::Fence:
+        os << "F\n";
+        return;
+    }
+    rcnvm_panic("unknown op kind while writing trace");
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const std::vector<cpu::AccessPlan> &plans)
+{
+    os << "# rcnvm access trace, " << plans.size() << " core(s)\n";
+    for (std::size_t core = 0; core < plans.size(); ++core) {
+        os << "@core " << core << "\n";
+        for (const MemOp &op : plans[core])
+            writeOp(os, op);
+    }
+}
+
+std::vector<cpu::AccessPlan>
+readTrace(std::istream &is)
+{
+    std::vector<cpu::AccessPlan> plans;
+    std::size_t core = 0;
+    unsigned line_no = 0;
+    std::string line;
+
+    const auto plan = [&]() -> cpu::AccessPlan & {
+        if (plans.size() <= core)
+            plans.resize(core + 1);
+        return plans[core];
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag) || tag[0] == '#')
+            continue;
+
+        const auto need_addr = [&]() {
+            std::string token;
+            if (!(ls >> token))
+                rcnvm_fatal("trace line ", line_no,
+                            ": missing address");
+            return static_cast<Addr>(
+                std::stoull(token, nullptr, 0));
+        };
+        const auto need_u32 = [&](const char *what) {
+            std::uint64_t v;
+            if (!(ls >> v))
+                rcnvm_fatal("trace line ", line_no, ": missing ",
+                            what);
+            return static_cast<std::uint32_t>(v);
+        };
+        const auto need_orient = [&]() {
+            std::string token;
+            if (!(ls >> token))
+                rcnvm_fatal("trace line ", line_no,
+                            ": missing orientation");
+            return parseOrient(token, line_no);
+        };
+
+        if (tag == "@core") {
+            core = need_u32("core index");
+            (void)plan();
+        } else if (tag == "L") {
+            plan().push_back(MemOp::load(need_addr()));
+        } else if (tag == "S") {
+            const Addr a = need_addr();
+            plan().push_back(MemOp::store(a, need_u32("bytes")));
+        } else if (tag == "CL") {
+            plan().push_back(MemOp::cload(need_addr()));
+        } else if (tag == "CS") {
+            const Addr a = need_addr();
+            plan().push_back(MemOp::cstore(a, need_u32("bytes")));
+        } else if (tag == "CP") {
+            const Addr a = need_addr();
+            plan().push_back(MemOp::cprefetch(a, need_orient()));
+        } else if (tag == "G") {
+            plan().push_back(MemOp::gload(need_addr()));
+        } else if (tag == "C") {
+            plan().push_back(MemOp::compute(need_u32("cycles")));
+        } else if (tag == "P" || tag == "U") {
+            const Addr a = need_addr();
+            const std::uint32_t bytes = need_u32("bytes");
+            const Orientation o = need_orient();
+            plan().push_back(tag == "P" ? MemOp::pin(a, bytes, o)
+                                        : MemOp::unpin(a, bytes, o));
+        } else if (tag == "F") {
+            plan().push_back(MemOp::fence());
+        } else {
+            rcnvm_fatal("trace line ", line_no, ": unknown tag '",
+                        tag, "'");
+        }
+    }
+    return plans;
+}
+
+std::string
+toString(const std::vector<cpu::AccessPlan> &plans)
+{
+    std::ostringstream oss;
+    writeTrace(oss, plans);
+    return oss.str();
+}
+
+std::vector<cpu::AccessPlan>
+fromString(const std::string &text)
+{
+    std::istringstream iss(text);
+    return readTrace(iss);
+}
+
+} // namespace rcnvm::trace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by address mapping and cache indexing.
+ */
+
+#ifndef RCNVM_UTIL_BITFIELD_HH_
+#define RCNVM_UTIL_BITFIELD_HH_
+
+#include <cassert>
+#include <cstdint>
+
+namespace rcnvm::util {
+
+/**
+ * Extract the bit field [first, first+width) from value.
+ *
+ * @param value  the word to extract from
+ * @param first  index of the least significant bit of the field
+ * @param width  number of bits in the field (1..64)
+ * @return the field, right aligned
+ */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned first, unsigned width)
+{
+    if (width >= 64)
+        return value >> first;
+    return (value >> first) & ((std::uint64_t{1} << width) - 1);
+}
+
+/**
+ * Insert @p field into bit positions [first, first+width) of @p value.
+ *
+ * @param value  the word to insert into
+ * @param first  index of the least significant bit of the field
+ * @param width  number of bits in the field (1..63)
+ * @param field  field contents (must fit in @p width bits)
+ * @return @p value with the field replaced
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned first, unsigned width,
+           std::uint64_t field)
+{
+    const std::uint64_t mask = ((std::uint64_t{1} << width) - 1) << first;
+    return (value & ~mask) | ((field << first) & mask);
+}
+
+/** True when @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace rcnvm::util
+
+#endif // RCNVM_UTIL_BITFIELD_HH_

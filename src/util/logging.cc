@@ -1,0 +1,51 @@
+#include "util/logging.hh"
+
+namespace rcnvm::util {
+
+namespace {
+LogLevel globalLevel = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace rcnvm::util

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits(1).
+ * warn()   — something is approximated; simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef RCNVM_UTIL_LOGGING_HH_
+#define RCNVM_UTIL_LOGGING_HH_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rcnvm::util {
+
+/** Verbosity threshold for inform(); warn and errors always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Global log level, settable by applications and tests. */
+LogLevel logLevel();
+
+/** Change the global log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report a simulator bug and abort. */
+#define rcnvm_panic(...)                                                  \
+    ::rcnvm::util::detail::panicImpl(                                     \
+        ::rcnvm::util::detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report an unusable user configuration and exit. */
+#define rcnvm_fatal(...)                                                  \
+    ::rcnvm::util::detail::fatalImpl(                                     \
+        ::rcnvm::util::detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Warn about approximated or suspicious behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Print a status message subject to the global log level. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::informImpl(detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace rcnvm::util
+
+#endif // RCNVM_UTIL_LOGGING_HH_

@@ -1,0 +1,37 @@
+#include "util/stats.hh"
+
+namespace rcnvm::util {
+
+void
+StatsMap::set(const std::string &name, double value)
+{
+    entries_[name] = value;
+}
+
+void
+StatsMap::add(const std::string &name, double value)
+{
+    entries_[name] += value;
+}
+
+double
+StatsMap::get(const std::string &name, double fallback) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? fallback : it->second;
+}
+
+bool
+StatsMap::contains(const std::string &name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+void
+StatsMap::merge(const StatsMap &other)
+{
+    for (const auto &[name, value] : other.entries_)
+        entries_[name] += value;
+}
+
+} // namespace rcnvm::util

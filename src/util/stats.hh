@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lightweight statistics primitives: counters, scalar values, and a
+ * named registry so components can export their statistics to reports.
+ */
+
+#ifndef RCNVM_UTIL_STATS_HH_
+#define RCNVM_UTIL_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rcnvm::util {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    /** Increment by @p n (default one event). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Sampled
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Discard all samples. */
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * A flat name → value map of statistics produced by one simulation.
+ *
+ * Components contribute entries via set()/add(); reports read them
+ * back with get(). Missing names read as zero so report code stays
+ * simple when a device lacks some statistic (e.g. DRAM has no column
+ * buffer).
+ */
+class StatsMap
+{
+  public:
+    /** Set (overwrite) a statistic. */
+    void set(const std::string &name, double value);
+
+    /** Accumulate into a statistic (creates it at zero). */
+    void add(const std::string &name, double value);
+
+    /** Read a statistic; absent names yield @p fallback. */
+    double get(const std::string &name, double fallback = 0.0) const;
+
+    /** True when the statistic exists. */
+    bool contains(const std::string &name) const;
+
+    /** All entries in name order. */
+    const std::map<std::string, double> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Merge another map into this one, summing shared names. */
+    void merge(const StatsMap &other);
+
+  private:
+    std::map<std::string, double> entries_;
+};
+
+} // namespace rcnvm::util
+
+#endif // RCNVM_UTIL_STATS_HH_

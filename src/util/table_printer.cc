@@ -1,0 +1,58 @@
+#include "util/table_printer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace rcnvm::util {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &cells)
+{
+    rows_.push_back(cells);
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    os << "== " << title_ << " ==\n";
+    if (rows_.empty())
+        return;
+
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << "\n";
+        if (r == 0) {
+            std::size_t total = 0;
+            for (auto w : widths)
+                total += w + 2;
+            os << std::string(total, '-') << "\n";
+        }
+    }
+}
+
+} // namespace rcnvm::util

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Aligned plain-text table output used by the benchmark harnesses to
+ * print paper-style rows and series.
+ */
+
+#ifndef RCNVM_UTIL_TABLE_PRINTER_HH_
+#define RCNVM_UTIL_TABLE_PRINTER_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcnvm::util {
+
+/**
+ * Collects rows of string cells and prints them with columns padded
+ * to the widest cell. The first row added is treated as the header.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table titled @p title (printed above the header). */
+    explicit TablePrinter(std::string title);
+
+    /** Append one row of cells. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Format a double with @p precision fraction digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rcnvm::util
+
+#endif // RCNVM_UTIL_TABLE_PRINTER_HH_

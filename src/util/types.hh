@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every RC-NVM module.
+ */
+
+#ifndef RCNVM_UTIL_TYPES_HH_
+#define RCNVM_UTIL_TYPES_HH_
+
+#include <cstdint>
+
+namespace rcnvm {
+
+/** Simulated time in ticks. One tick is one picosecond. */
+using Tick = std::uint64_t;
+
+/** A physical memory address (32-bit address space, stored in 64). */
+using Addr = std::uint64_t;
+
+/** A cycle count inside some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Number of ticks in one nanosecond. */
+inline constexpr Tick ticksPerNs = 1000;
+
+/** Convert nanoseconds into ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs));
+}
+
+/** Convert ticks into (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNs);
+}
+
+/** Orientation of a memory access or cache line (see paper Sec. 4.2). */
+enum class Orientation : std::uint8_t {
+    Row = 0,    //!< conventional row-oriented access (load/store)
+    Column = 1, //!< column-oriented access (cload/cstore)
+};
+
+/** Human-readable name for an orientation. */
+constexpr const char *
+toString(Orientation o)
+{
+    return o == Orientation::Row ? "row" : "column";
+}
+
+/** The opposite orientation. */
+constexpr Orientation
+flip(Orientation o)
+{
+    return o == Orientation::Row ? Orientation::Column : Orientation::Row;
+}
+
+} // namespace rcnvm
+
+#endif // RCNVM_UTIL_TYPES_HH_

@@ -1,0 +1,77 @@
+#include "workload/micro.hh"
+
+#include <algorithm>
+
+#include "imdb/plan_builder.hh"
+#include "util/bitfield.hh"
+
+namespace rcnvm::workload {
+
+using imdb::Database;
+using imdb::LineRef;
+using imdb::PlanBuilder;
+
+const char *
+toString(MicroBench mb)
+{
+    switch (mb) {
+      case MicroBench::RowRead:
+        return "row-read";
+      case MicroBench::RowWrite:
+        return "row-write";
+      case MicroBench::ColRead:
+        return "col-read";
+      case MicroBench::ColWrite:
+        return "col-write";
+    }
+    return "?";
+}
+
+std::vector<cpu::AccessPlan>
+compileMicro(const Database &db, Database::TableId tid, MicroBench mb,
+             unsigned cores)
+{
+    const bool write =
+        mb == MicroBench::RowWrite || mb == MicroBench::ColWrite;
+    const bool row_scan =
+        mb == MicroBench::RowRead || mb == MicroBench::RowWrite;
+
+    std::vector<cpu::AccessPlan> plans;
+
+    if (row_scan) {
+        // Sequential physical scan, lines split contiguously.
+        std::vector<LineRef> lines;
+        db.physicalScanLines(tid, lines);
+        const std::uint64_t per =
+            util::divCeil(lines.size(), cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            const std::uint64_t lo = std::min<std::uint64_t>(
+                lines.size(), std::uint64_t{c} * per);
+            const std::uint64_t hi = std::min<std::uint64_t>(
+                lines.size(), lo + per);
+            PlanBuilder builder(db);
+            std::vector<LineRef> part(lines.begin() + lo,
+                                      lines.begin() + hi);
+            builder.emitLines(part, write, 1);
+            plans.push_back(builder.take());
+        }
+        return plans;
+    }
+
+    // Column-direction scan: fields are distributed across cores so
+    // each core streams whole fields in field-major order.
+    const unsigned tw = db.table(tid).schema().tupleWords();
+    const std::uint64_t n = db.table(tid).tuples();
+    for (unsigned c = 0; c < cores; ++c) {
+        PlanBuilder builder(db);
+        for (unsigned w = c; w < tw; w += cores) {
+            std::vector<LineRef> lines;
+            db.fieldScanLines(tid, w, 0, n, lines);
+            builder.emitLines(lines, write, 1);
+        }
+        plans.push_back(builder.take());
+    }
+    return plans;
+}
+
+} // namespace rcnvm::workload

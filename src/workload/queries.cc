@@ -1,0 +1,522 @@
+#include "workload/queries.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "imdb/plan_builder.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace rcnvm::workload {
+
+using imdb::ChunkLayout;
+using imdb::Database;
+using imdb::LineRef;
+using imdb::PlanBuilder;
+
+namespace {
+
+const std::vector<QuerySpec> specs = {
+    {QueryId::Q1, "Q1",
+     "SELECT f3, f4 FROM table-a WHERE f10 > x", "OLXP"},
+    {QueryId::Q2, "Q2",
+     "SELECT * FROM table-b WHERE f10 > x (low selectivity)", "OLTP"},
+    {QueryId::Q3, "Q3",
+     "SELECT * FROM table-b WHERE f10 > x (high selectivity)",
+     "OLTP"},
+    {QueryId::Q4, "Q4",
+     "SELECT SUM(f9) FROM table-a WHERE f10 > x", "OLAP"},
+    {QueryId::Q5, "Q5",
+     "SELECT SUM(f9) FROM table-b WHERE f10 > x", "OLAP"},
+    {QueryId::Q6, "Q6",
+     "SELECT AVG(f1) FROM table-a WHERE f10 > x", "OLAP"},
+    {QueryId::Q7, "Q7",
+     "SELECT AVG(f1) FROM table-b WHERE f10 > x", "OLAP"},
+    {QueryId::Q8, "Q8",
+     "SELECT a.f3, b.f4 FROM table-a a, table-b b WHERE a.f1 > b.f1 "
+     "AND a.f9 = b.f9",
+     "OLXP"},
+    {QueryId::Q9, "Q9",
+     "SELECT a.f3, b.f4 FROM table-a a, table-b b WHERE a.f9 = b.f9",
+     "OLXP"},
+    {QueryId::Q10, "Q10",
+     "SELECT f3, f4 FROM table-a WHERE f1 > x AND f9 < y", "OLTP"},
+    {QueryId::Q11, "Q11",
+     "SELECT f3, f4 FROM table-a WHERE f1 > x AND f2 < y", "OLTP"},
+    {QueryId::Q12, "Q12",
+     "UPDATE table-b SET f3 = x, f4 = y WHERE f10 = z", "OLTP"},
+    {QueryId::Q13, "Q13",
+     "UPDATE table-b SET f9 = x WHERE f10 = y", "OLTP"},
+    {QueryId::Q14, "Q14",
+     "SELECT SUM(f2_wide) FROM table-c (wide field)",
+     "group-caching"},
+    {QueryId::Q15, "Q15",
+     "SELECT f3, f6, f10 FROM table-a (row order)", "group-caching"},
+};
+
+/** SplitMix-style host hash used for join slot selection. */
+std::uint64_t
+hashKey(std::int64_t key)
+{
+    std::uint64_t z = static_cast<std::uint64_t>(key) +
+                      0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Matched tuple indices within [lo, hi). */
+std::vector<std::uint64_t>
+matchedIn(const std::vector<bool> &matches, std::uint64_t lo,
+          std::uint64_t hi)
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t t = lo; t < hi; ++t) {
+        if (matches[t])
+            out.push_back(t);
+    }
+    return out;
+}
+
+std::uint64_t
+countMatches(const std::vector<bool> &matches)
+{
+    std::uint64_t n = 0;
+    for (const bool m : matches)
+        n += m ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+const std::vector<QuerySpec> &
+allQueries()
+{
+    return specs;
+}
+
+const QuerySpec &
+querySpec(QueryId id)
+{
+    for (const QuerySpec &s : specs) {
+        if (s.id == id)
+            return s;
+    }
+    rcnvm_panic("unknown query id");
+}
+
+std::uint64_t
+CompiledQuery::totalOps() const
+{
+    std::uint64_t n = 0;
+    for (const auto &phase : phases) {
+        for (const auto &plan : phase)
+            n += plan.size();
+    }
+    return n;
+}
+
+QueryWorkload::QueryWorkload(const TableSet &tables)
+    : tables_(&tables), params_()
+{
+}
+
+QueryWorkload::QueryWorkload(const TableSet &tables,
+                             const Params &params)
+    : tables_(&tables), params_(params)
+{
+}
+
+PlacedDatabase
+QueryWorkload::place(mem::DeviceKind kind, const mem::AddressMap &map,
+                     ChunkLayout rc_layout) const
+{
+    PlacedDatabase pd;
+    pd.db = std::make_unique<Database>(kind, map);
+    const ChunkLayout layout = pd.db->columnCapable()
+                                   ? rc_layout
+                                   : ChunkLayout::RowOriented;
+    pd.a = pd.db->addTable(tables_->a.get(), layout);
+    pd.b = pd.db->addTable(tables_->b.get(), layout);
+    pd.c = pd.db->addTable(tables_->c.get(), layout);
+    // The hash region is scratch memory: classical row layout.
+    pd.hash = pd.db->addTable(tables_->hash.get(),
+                              ChunkLayout::RowOriented);
+    return pd;
+}
+
+QueryWorkload::Range
+QueryWorkload::corePartition(std::uint64_t tuples, unsigned cores,
+                             unsigned c)
+{
+    // 8-aligned boundaries keep line ownership per core.
+    const std::uint64_t per =
+        util::alignUp(util::divCeil(tuples, cores), 8);
+    const std::uint64_t lo = std::min<std::uint64_t>(
+        tuples, std::uint64_t{c} * per);
+    const std::uint64_t hi = std::min<std::uint64_t>(
+        tuples, lo + per);
+    return Range{lo, hi};
+}
+
+CompiledQuery
+QueryWorkload::compileSelect(const PlacedDatabase &pd,
+                             Database::TableId tid,
+                             unsigned pred_word, double sel,
+                             unsigned out_w0, unsigned out_w1,
+                             unsigned cores) const
+{
+    const Database &db = *pd.db;
+    const imdb::Table &table = db.table(tid);
+    const std::uint64_t n = table.tuples();
+    const auto matches = table.matchGreater(
+        pred_word, table.thresholdForGreater(sel));
+    const std::uint64_t match_count = countMatches(matches);
+
+    // Access-path choice: (a) predicate column scan plus per-match
+    // fetches, (b) a full scan of every field in the layout's
+    // buffer-friendly order (column scans on a column-oriented
+    // placement), or (c) one sequential physical scan.
+    const unsigned tw = table.schema().tupleWords();
+    std::vector<LineRef> tmp;
+    db.fieldScanLines(tid, pred_word, 0, n, tmp);
+    const std::uint64_t pred_lines = tmp.size();
+    const std::uint64_t fetch_lines =
+        match_count *
+        util::divCeil(std::uint64_t{out_w1 - out_w0} * 8 + 8, 64);
+    const std::uint64_t all_field_lines = pred_lines * tw;
+    tmp.clear();
+    db.physicalScanLines(tid, tmp);
+    const std::uint64_t full_lines = tmp.size();
+
+    imdb::ComputeCosts costs;
+    CompiledQuery q;
+    q.phases.emplace_back();
+    if (pred_lines + fetch_lines <=
+        std::min(all_field_lines, full_lines)) {
+        for (unsigned c = 0; c < cores; ++c) {
+            const Range r = corePartition(n, cores, c);
+            PlanBuilder builder(db);
+            builder.scanFieldWord(tid, pred_word, r.lo, r.hi,
+                                  costs.compare);
+            // The query optimizer picks row or column access to
+            // minimise memory accesses (Sec. 5): sparse matches use
+            // the Figure-12 row-access plan, dense ones go columnar.
+            builder.fetchTuplesBest(tid,
+                                    matchedIn(matches, r.lo, r.hi),
+                                    out_w0, out_w1,
+                                    costs.materialize);
+            q.phases[0].push_back(builder.take());
+        }
+    } else if (all_field_lines <= full_lines) {
+        // Scan every field column (set-oriented full-table read).
+        for (unsigned c = 0; c < cores; ++c) {
+            const Range r = corePartition(n, cores, c);
+            PlanBuilder builder(db);
+            for (unsigned w = 0; w < tw; ++w) {
+                builder.scanFieldWord(tid, w, r.lo, r.hi,
+                                      w == pred_word
+                                          ? costs.compare
+                                          : 0);
+            }
+            q.phases[0].push_back(builder.take());
+        }
+    } else {
+        // Full scan: partition the physical line sequence.
+        const std::uint64_t per =
+            util::divCeil(full_lines, cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            const std::uint64_t lo = std::min<std::uint64_t>(
+                full_lines, std::uint64_t{c} * per);
+            const std::uint64_t hi =
+                std::min<std::uint64_t>(full_lines, lo + per);
+            PlanBuilder builder(db);
+            std::vector<LineRef> part(tmp.begin() + lo,
+                                      tmp.begin() + hi);
+            builder.emitLines(part, false, costs.compare * 2);
+            q.phases[0].push_back(builder.take());
+        }
+    }
+    return q;
+}
+
+CompiledQuery
+QueryWorkload::compileAggregate(const PlacedDatabase &pd,
+                                Database::TableId tid,
+                                unsigned pred_word, double sel,
+                                unsigned agg_word,
+                                unsigned cores) const
+{
+    const Database &db = *pd.db;
+    const imdb::Table &table = db.table(tid);
+    const std::uint64_t n = table.tuples();
+    const auto matches = table.matchGreater(
+        pred_word, table.thresholdForGreater(sel));
+    const std::uint64_t match_count = countMatches(matches);
+
+    std::vector<LineRef> tmp;
+    db.fieldScanLines(tid, agg_word, 0, n, tmp);
+    const std::uint64_t agg_scan_lines = tmp.size();
+    const bool scan_agg_column = agg_scan_lines <= match_count;
+
+    imdb::ComputeCosts costs;
+    CompiledQuery q;
+    q.phases.emplace_back();
+    for (unsigned c = 0; c < cores; ++c) {
+        const Range r = corePartition(n, cores, c);
+        PlanBuilder builder(db);
+        builder.scanFieldWord(tid, pred_word, r.lo, r.hi,
+                              costs.compare);
+        if (scan_agg_column) {
+            builder.scanFieldWord(tid, agg_word, r.lo, r.hi,
+                                  costs.aggregate);
+        } else {
+            builder.fetchTuplesBest(tid,
+                                    matchedIn(matches, r.lo, r.hi),
+                                    agg_word, agg_word + 1,
+                                    costs.aggregate);
+        }
+        q.phases[0].push_back(builder.take());
+    }
+    return q;
+}
+
+CompiledQuery
+QueryWorkload::compileTwoPredicate(const PlacedDatabase &pd,
+                                   unsigned pred1, unsigned pred2,
+                                   double sel1, double sel2,
+                                   unsigned cores) const
+{
+    const Database &db = *pd.db;
+    const Database::TableId tid = pd.a;
+    const imdb::Table &table = db.table(tid);
+    const std::uint64_t n = table.tuples();
+    const auto m1 = table.matchGreater(
+        pred1, table.thresholdForGreater(sel1));
+    const auto m2 = table.matchLess(
+        pred2,
+        static_cast<std::int64_t>(
+            static_cast<double>(imdb::Table::valueRange) * sel2));
+    std::vector<bool> both(n);
+    for (std::uint64_t t = 0; t < n; ++t)
+        both[t] = m1[t] && m2[t];
+
+    imdb::ComputeCosts costs;
+    CompiledQuery q;
+    q.phases.emplace_back();
+    for (unsigned c = 0; c < cores; ++c) {
+        const Range r = corePartition(n, cores, c);
+        PlanBuilder builder(db);
+        builder.scanFieldWord(tid, pred1, r.lo, r.hi, costs.compare);
+        builder.scanFieldWord(tid, pred2, r.lo, r.hi, costs.compare);
+        builder.fetchTuplesBest(tid, matchedIn(both, r.lo, r.hi),
+                                2, 4, costs.materialize);
+        q.phases[0].push_back(builder.take());
+    }
+    return q;
+}
+
+CompiledQuery
+QueryWorkload::compileJoin(const PlacedDatabase &pd,
+                           bool with_f1_filter, unsigned cores) const
+{
+    const Database &db = *pd.db;
+    const imdb::Table &ta = db.table(pd.a);
+    const imdb::Table &tb = db.table(pd.b);
+    const std::uint64_t na = ta.tuples();
+    const std::uint64_t nb = tb.tuples();
+    const std::uint64_t slots = db.table(pd.hash).tuples();
+    const unsigned f9 = 8, f1 = 0;
+
+    // Host-side equi-join on f9 (the simulated machine replays only
+    // the memory behaviour of build, probe, and fetch).
+    std::unordered_multimap<std::int64_t, std::uint64_t> index;
+    index.reserve(na);
+    for (std::uint64_t t = 0; t < na; ++t)
+        index.emplace(ta.value(f9, t), t);
+
+    std::vector<bool> match_a(na, false), match_b(nb, false);
+    std::uint64_t pairs = 0;
+    for (std::uint64_t t = 0; t < nb; ++t) {
+        auto [it, end] = index.equal_range(tb.value(f9, t));
+        for (; it != end; ++it) {
+            if (with_f1_filter &&
+                !(ta.value(f1, it->second) > tb.value(f1, t))) {
+                continue;
+            }
+            match_a[it->second] = true;
+            match_b[t] = true;
+            ++pairs;
+        }
+    }
+
+    imdb::ComputeCosts costs;
+    CompiledQuery q;
+    q.phases.resize(3);
+
+    // Phase 1: build - scan a.f9 (and a.f1 for the filter payload),
+    // insert into the hash region.
+    for (unsigned c = 0; c < cores; ++c) {
+        const Range r = corePartition(na, cores, c);
+        PlanBuilder builder(db);
+        builder.scanFieldWord(pd.a, f9, r.lo, r.hi, 0);
+        if (with_f1_filter)
+            builder.scanFieldWord(pd.a, f1, r.lo, r.hi, 0);
+        std::vector<std::uint64_t> build_slots;
+        build_slots.reserve(static_cast<std::size_t>(r.hi - r.lo));
+        for (std::uint64_t t = r.lo; t < r.hi; ++t)
+            build_slots.push_back(hashKey(ta.value(f9, t)) % slots);
+        builder.hashAccess(pd.hash, build_slots, true, costs.hash);
+        q.phases[0].push_back(builder.take());
+    }
+
+    // Phase 2: probe - scan b.f9 (and b.f1), look up the hash region.
+    for (unsigned c = 0; c < cores; ++c) {
+        const Range r = corePartition(nb, cores, c);
+        PlanBuilder builder(db);
+        builder.scanFieldWord(pd.b, f9, r.lo, r.hi, 0);
+        if (with_f1_filter)
+            builder.scanFieldWord(pd.b, f1, r.lo, r.hi, 0);
+        std::vector<std::uint64_t> probe_slots;
+        probe_slots.reserve(static_cast<std::size_t>(r.hi - r.lo));
+        for (std::uint64_t t = r.lo; t < r.hi; ++t)
+            probe_slots.push_back(hashKey(tb.value(f9, t)) % slots);
+        builder.hashAccess(pd.hash, probe_slots, false, costs.hash);
+        q.phases[1].push_back(builder.take());
+    }
+
+    // Phase 3: fetch outputs - a.f3 and b.f4 of matched tuples.
+    const std::uint64_t pair_compute =
+        pairs * costs.materialize / std::max(1u, cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        const Range ra = corePartition(na, cores, c);
+        const Range rb = corePartition(nb, cores, c);
+        PlanBuilder builder(db);
+        builder.fetchTuplesBest(pd.a,
+                                matchedIn(match_a, ra.lo, ra.hi),
+                                2, 3, 0);
+        builder.fetchTuplesBest(pd.b,
+                                matchedIn(match_b, rb.lo, rb.hi),
+                                3, 4, 0);
+        builder.compute(pair_compute);
+        q.phases[2].push_back(builder.take());
+    }
+    return q;
+}
+
+CompiledQuery
+QueryWorkload::compileUpdate(const PlacedDatabase &pd, double band,
+                             const std::vector<unsigned> &words,
+                             unsigned cores) const
+{
+    const Database &db = *pd.db;
+    const Database::TableId tid = pd.b;
+    const imdb::Table &table = db.table(tid);
+    const std::uint64_t n = table.tuples();
+    const unsigned f10 = 9;
+
+    // Equality over a value band of the requested selectivity
+    // (exact equality on a 100000-value domain matches almost
+    // nothing at this scale).
+    const std::int64_t z0 = imdb::Table::valueRange / 3;
+    const std::int64_t z1 =
+        z0 + static_cast<std::int64_t>(
+                 band * static_cast<double>(imdb::Table::valueRange));
+    std::vector<bool> matches(n);
+    for (std::uint64_t t = 0; t < n; ++t) {
+        const std::int64_t v = table.value(f10, t);
+        matches[t] = v >= z0 && v < z1;
+    }
+
+    imdb::ComputeCosts costs;
+    CompiledQuery q;
+    q.phases.emplace_back();
+    for (unsigned c = 0; c < cores; ++c) {
+        const Range r = corePartition(n, cores, c);
+        PlanBuilder builder(db);
+        builder.scanFieldWord(tid, f10, r.lo, r.hi, costs.compare);
+        const auto hit = matchedIn(matches, r.lo, r.hi);
+        for (const unsigned w : words)
+            builder.storeFieldWord(tid, hit, w);
+        q.phases[0].push_back(builder.take());
+    }
+    return q;
+}
+
+CompiledQuery
+QueryWorkload::compileOrdered(const PlacedDatabase &pd,
+                              Database::TableId tid,
+                              const std::vector<unsigned> &words,
+                              unsigned group_lines,
+                              unsigned cores) const
+{
+    const Database &db = *pd.db;
+    const std::uint64_t n = db.table(tid).tuples();
+    imdb::ComputeCosts costs;
+    CompiledQuery q;
+    q.phases.emplace_back();
+    for (unsigned c = 0; c < cores; ++c) {
+        const Range r = corePartition(n, cores, c);
+        PlanBuilder builder(db);
+        builder.orderedMultiColumnScan(tid, words, r.lo, r.hi,
+                                       group_lines,
+                                       costs.materialize);
+        q.phases[0].push_back(builder.take());
+    }
+    return q;
+}
+
+CompiledQuery
+QueryWorkload::compile(QueryId id, const PlacedDatabase &pd,
+                       unsigned cores, unsigned group_lines) const
+{
+    const unsigned group = group_lines == kDefaultGroup
+                               ? params_.groupLines
+                               : group_lines;
+    const unsigned f10 = 9, f9 = 8, f1 = 0;
+    const imdb::Table &tb = *tables_->b;
+    switch (id) {
+      case QueryId::Q1:
+        return compileSelect(pd, pd.a, f10, params_.q1Sel, 2, 4,
+                             cores);
+      case QueryId::Q2:
+        return compileSelect(pd, pd.b, f10, params_.q2Sel, 0,
+                             tb.schema().tupleWords(), cores);
+      case QueryId::Q3:
+        return compileSelect(pd, pd.b, f10, params_.q3Sel, 0,
+                             tb.schema().tupleWords(), cores);
+      case QueryId::Q4:
+        return compileAggregate(pd, pd.a, f10, params_.q4Sel, f9,
+                                cores);
+      case QueryId::Q5:
+        return compileAggregate(pd, pd.b, f10, params_.q5Sel, f9,
+                                cores);
+      case QueryId::Q6:
+        return compileAggregate(pd, pd.a, f10, params_.q6Sel, f1,
+                                cores);
+      case QueryId::Q7:
+        return compileAggregate(pd, pd.b, f10, params_.q7Sel, f1,
+                                cores);
+      case QueryId::Q8:
+        return compileJoin(pd, true, cores);
+      case QueryId::Q9:
+        return compileJoin(pd, false, cores);
+      case QueryId::Q10:
+        return compileTwoPredicate(pd, f1, f9, params_.q10Sel,
+                                   params_.q10Sel, cores);
+      case QueryId::Q11:
+        return compileTwoPredicate(pd, f1, 1, params_.q11Sel,
+                                   params_.q11Sel, cores);
+      case QueryId::Q12:
+        return compileUpdate(pd, params_.q12Band, {2, 3}, cores);
+      case QueryId::Q13:
+        return compileUpdate(pd, params_.q13Band, {f9}, cores);
+      case QueryId::Q14:
+        return compileOrdered(pd, pd.c, {1, 2, 3, 4}, group, cores);
+      case QueryId::Q15:
+        return compileOrdered(pd, pd.a, {2, 5, 9}, group, cores);
+    }
+    rcnvm_panic("unknown query id");
+}
+
+} // namespace rcnvm::workload

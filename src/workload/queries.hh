@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The Table-2 benchmark queries Q1-Q15 and their compilation to
+ * per-core, per-phase access plans on a placed database.
+ */
+
+#ifndef RCNVM_WORKLOAD_QUERIES_HH_
+#define RCNVM_WORKLOAD_QUERIES_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/mem_op.hh"
+#include "imdb/database.hh"
+#include "workload/tables.hh"
+
+namespace rcnvm::workload {
+
+/** The fifteen benchmark queries of Table 2. */
+enum class QueryId {
+    Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10, Q11, Q12, Q13, Q14, Q15,
+};
+
+/** Static description of one query. */
+struct QuerySpec {
+    QueryId id;
+    const char *name;
+    const char *sql;
+    const char *category; //!< OLTP / OLAP / OLXP / group-caching
+};
+
+/** All query specs in Table-2 order. */
+const std::vector<QuerySpec> &allQueries();
+
+/** Spec for one query id. */
+const QuerySpec &querySpec(QueryId id);
+
+/**
+ * A compiled query: phases executed sequentially, each phase holding
+ * one plan per core. Multi-phase queries are the hash joins (build
+ * must complete before probe).
+ */
+struct CompiledQuery {
+    std::vector<std::vector<cpu::AccessPlan>> phases;
+
+    /** Total operations across all phases and cores. */
+    std::uint64_t totalOps() const;
+};
+
+/**
+ * A database instance for one device, holding the benchmark tables.
+ */
+struct PlacedDatabase {
+    std::unique_ptr<imdb::Database> db;
+    imdb::Database::TableId a = 0;
+    imdb::Database::TableId b = 0;
+    imdb::Database::TableId c = 0;
+    imdb::Database::TableId hash = 0;
+};
+
+/**
+ * Compiles Table-2 queries against a TableSet placed on a device.
+ *
+ * Host-side work (predicate bitmaps, join matching, hash slots) is
+ * evaluated here from the synthetic table contents so plans reflect
+ * real selectivities; the simulated machine then replays only the
+ * memory behaviour.
+ */
+class QueryWorkload
+{
+  public:
+    /** Default predicate selectivities per query (see Table 2). */
+    struct Params {
+        double q1Sel = 0.10;
+        double q2Sel = 0.05; //!< "most of f10 is NOT greater than x"
+        double q3Sel = 0.90; //!< "most of f10 is greater than x"
+        double q4Sel = 0.50;
+        double q5Sel = 0.50;
+        double q6Sel = 0.50;
+        double q7Sel = 0.50;
+        double q10Sel = 0.30; //!< per predicate
+        double q11Sel = 0.30;
+        double q12Band = 0.01; //!< equality band selectivity
+        double q13Band = 0.05;
+        unsigned groupLines = 128; //!< Q14/Q15 group-caching size
+    };
+
+    /** Use the default Table-2 parameters. */
+    explicit QueryWorkload(const TableSet &tables);
+
+    /** Use custom selectivity parameters. */
+    QueryWorkload(const TableSet &tables, const Params &params);
+
+    /**
+     * Place the benchmark tables on a device. RC-NVM uses the given
+     * intra-chunk layout for the relational tables; row-only
+     * devices always use the classical row-store layout.
+     */
+    PlacedDatabase place(mem::DeviceKind kind,
+                         const mem::AddressMap &map,
+                         imdb::ChunkLayout rc_layout =
+                             imdb::ChunkLayout::ColumnOriented) const;
+
+    /**
+     * Compile one query.
+     *
+     * @param group_lines  overrides Params::groupLines for Q14/Q15;
+     *                     the magic value UINT_MAX keeps the default
+     */
+    CompiledQuery compile(QueryId id, const PlacedDatabase &pd,
+                          unsigned cores = 4,
+                          unsigned group_lines = kDefaultGroup) const;
+
+    /** Sentinel for "use Params::groupLines". */
+    static constexpr unsigned kDefaultGroup = 0xffffffffu;
+
+    /** The parameter block in use. */
+    const Params &params() const { return params_; }
+
+  private:
+    struct Range {
+        std::uint64_t lo, hi;
+    };
+
+    /** Tuple-range partition for core @p c of @p cores. */
+    static Range corePartition(std::uint64_t tuples, unsigned cores,
+                               unsigned c);
+
+    CompiledQuery compileSelect(const PlacedDatabase &pd,
+                                imdb::Database::TableId tid,
+                                unsigned pred_word, double sel,
+                                unsigned out_w0, unsigned out_w1,
+                                unsigned cores) const;
+
+    CompiledQuery compileAggregate(const PlacedDatabase &pd,
+                                   imdb::Database::TableId tid,
+                                   unsigned pred_word, double sel,
+                                   unsigned agg_word,
+                                   unsigned cores) const;
+
+    CompiledQuery compileTwoPredicate(const PlacedDatabase &pd,
+                                      unsigned pred1, unsigned pred2,
+                                      double sel1, double sel2,
+                                      unsigned cores) const;
+
+    CompiledQuery compileJoin(const PlacedDatabase &pd,
+                              bool with_f1_filter,
+                              unsigned cores) const;
+
+    CompiledQuery compileUpdate(const PlacedDatabase &pd,
+                                double band,
+                                const std::vector<unsigned> &words,
+                                unsigned cores) const;
+
+    CompiledQuery compileOrdered(const PlacedDatabase &pd,
+                                 imdb::Database::TableId tid,
+                                 const std::vector<unsigned> &words,
+                                 unsigned group_lines,
+                                 unsigned cores) const;
+
+    const TableSet *tables_;
+    Params params_;
+};
+
+} // namespace rcnvm::workload
+
+#endif // RCNVM_WORKLOAD_QUERIES_HH_

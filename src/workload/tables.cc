@@ -1,0 +1,37 @@
+#include "workload/tables.hh"
+
+namespace rcnvm::workload {
+
+using imdb::Field;
+using imdb::Schema;
+using imdb::Table;
+
+TableSet
+TableSet::standard(std::uint64_t tuples, std::uint64_t micro_tuples,
+                   std::uint64_t seed)
+{
+    TableSet set;
+    set.a = std::make_unique<Table>("table-a", Schema::uniform(16),
+                                    tuples, seed + 1);
+    set.b = std::make_unique<Table>("table-b", Schema::uniform(20),
+                                    tuples, seed + 2);
+    // table-c: five variable-length fields (Sec. 6.2); f2_wide spans
+    // four 8-byte words, matching the ~32 KB group-caching footprint
+    // quoted for Q14 at 128 cache lines.
+    set.c = std::make_unique<Table>(
+        "table-c",
+        Schema({Field{"f1", 8}, Field{"f2_wide", 32}, Field{"f3", 8},
+                Field{"f4", 8}, Field{"f5", 8}}),
+        tuples, seed + 3);
+    set.micro = std::make_unique<Table>(
+        "table-micro", Schema::uniform(16), micro_tuples, seed + 4);
+    // Hash region: key + payload word per slot, sized so a
+    // realistic 16-byte-entry table for the build side stays
+    // mostly LLC-resident (as an IMDB would arrange).
+    set.hash = std::make_unique<Table>(
+        "hash-region", Schema::uniform(2),
+        std::max<std::uint64_t>(1024, tuples / 4), seed + 5);
+    return set;
+}
+
+} // namespace rcnvm::workload

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The benchmark tables of Sec. 6.2: table-a (16 fixed 8-byte
+ * fields), table-b (20 fixed 8-byte fields), table-c (variable
+ * widths including the wide field f2_wide), the Fig-17 micro
+ * benchmark table, and a scratch region used as a join hash table.
+ */
+
+#ifndef RCNVM_WORKLOAD_TABLES_HH_
+#define RCNVM_WORKLOAD_TABLES_HH_
+
+#include <cstdint>
+#include <memory>
+
+#include "imdb/table.hh"
+
+namespace rcnvm::workload {
+
+/** All tables used by the evaluation, generated deterministically. */
+struct TableSet {
+    std::unique_ptr<imdb::Table> a;     //!< 16 x 8 B fields
+    std::unique_ptr<imdb::Table> b;     //!< 20 x 8 B fields
+    std::unique_ptr<imdb::Table> c;     //!< has 32 B f2_wide
+    std::unique_ptr<imdb::Table> micro; //!< Fig-17 scan target
+    std::unique_ptr<imdb::Table> hash;  //!< join hash-table region
+
+    /**
+     * Build the standard set.
+     *
+     * @param tuples  cardinality of table-a/b/c and the hash region
+     * @param micro_tuples  cardinality of the micro-benchmark table
+     * @param seed    deterministic generator seed
+     */
+    static TableSet standard(std::uint64_t tuples = 65536,
+                             std::uint64_t micro_tuples = 32768,
+                             std::uint64_t seed = 42);
+};
+
+} // namespace rcnvm::workload
+
+#endif // RCNVM_WORKLOAD_TABLES_HH_

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the circuit-level area and latency models, including the
+ * calibration anchors the paper states for Figures 4 and 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/area_model.hh"
+#include "circuit/latency_model.hh"
+
+namespace rcnvm::circuit {
+namespace {
+
+class AreaSweep : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    AreaModel model_;
+};
+
+TEST_P(AreaSweep, RcDramOverheadAlwaysAboveTwoHundredPercent)
+{
+    // Sec. 2.2: modification to the DRAM mat leads to overhead
+    // "larger than 200% bit-per-area" at every array size.
+    EXPECT_GT(model_.rcDramOverhead(GetParam()), 2.0);
+}
+
+TEST_P(AreaSweep, RcNvmOverheadAlwaysBelowRcDram)
+{
+    EXPECT_LT(model_.rcNvmOverhead(GetParam()),
+              model_.rcDramOverhead(GetParam()));
+}
+
+TEST_P(AreaSweep, AreasArePositive)
+{
+    const unsigned n = GetParam();
+    EXPECT_GT(model_.dramArea(n), 0.0);
+    EXPECT_GT(model_.rcDramArea(n), model_.dramArea(n));
+    EXPECT_GT(model_.nvmArea(n), 0.0);
+    EXPECT_GT(model_.rcNvmArea(n), model_.nvmArea(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure4Sizes, AreaSweep,
+                         ::testing::Values(16, 32, 64, 128, 256, 512,
+                                           1024));
+
+TEST(AreaModel, RcDramOverheadGrowsWithArraySize)
+{
+    AreaModel m;
+    // "The area overhead is proportional to the number of WLs and
+    // BLs in an array."
+    double prev = m.rcDramOverhead(16);
+    for (unsigned n = 32; n <= 1024; n *= 2) {
+        EXPECT_GT(m.rcDramOverhead(n), prev);
+        prev = m.rcDramOverhead(n);
+    }
+}
+
+TEST(AreaModel, RcNvmOverheadShrinksWithArraySize)
+{
+    AreaModel m;
+    double prev = m.rcNvmOverhead(16);
+    for (unsigned n = 32; n <= 1024; n *= 2) {
+        EXPECT_LT(m.rcNvmOverhead(n), prev);
+        prev = m.rcNvmOverhead(n);
+    }
+}
+
+TEST(AreaModel, RcNvmBelowTwentyPercentAt512)
+{
+    // Sec. 3: "the overhead drops to less than 20% when the numbers
+    // of WL and BLs are 512."
+    AreaModel m;
+    EXPECT_LT(m.rcNvmOverhead(512), 0.20);
+    EXPECT_GT(m.rcNvmOverhead(512), 0.05);
+}
+
+TEST(AreaModel, RcNvmAroundFifteenPercentAtDeployedMatSize)
+{
+    // Abstract: "only 15% area overhead". Table 1 deploys
+    // "4 512*512 mats in a subarray", so the design point is the
+    // 512-line mat.
+    AreaModel m;
+    EXPECT_NEAR(m.rcNvmOverhead(512), 0.15, 0.05);
+}
+
+TEST(AreaModel, CellArrayUnchangedForRcNvm)
+{
+    // The crossbar cell array itself is identical; only periphery
+    // differs, so the absolute extra area is linear in n.
+    AreaModel m;
+    const double extra512 = m.rcNvmArea(512) - m.nvmArea(512);
+    const double extra1024 = m.rcNvmArea(1024) - m.nvmArea(1024);
+    EXPECT_GT(extra1024, extra512);
+    EXPECT_LT(extra1024, 2.5 * extra512);
+}
+
+class LatencySweep : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    LatencyModel model_;
+};
+
+TEST_P(LatencySweep, OverheadIsPositiveAndModerate)
+{
+    const double o = model_.rcNvmOverhead(GetParam());
+    EXPECT_GT(o, 0.0);
+    EXPECT_LT(o, 1.0); // Figure 5 axis tops out at 100%
+}
+
+TEST_P(LatencySweep, RcLatencyExceedsBaseline)
+{
+    const unsigned n = GetParam();
+    EXPECT_GT(model_.rcNvmReadNs(n), model_.baselineReadNs(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure5Sizes, LatencySweep,
+                         ::testing::Values(16, 64, 128, 256, 512,
+                                           1024, 1200));
+
+TEST(LatencyModel, OverheadGrowsWithArraySize)
+{
+    LatencyModel m;
+    double prev = m.rcNvmOverhead(16);
+    for (unsigned n = 32; n <= 1200; n += 64) {
+        EXPECT_GE(m.rcNvmOverhead(n), prev);
+        prev = m.rcNvmOverhead(n);
+    }
+}
+
+TEST(LatencyModel, FifteenPercentAt512)
+{
+    // Sec. 3: "when the numbers of WL and BLs are 512, the timing
+    // overhead is just about 15%."
+    LatencyModel m;
+    EXPECT_NEAR(m.rcNvmOverhead(512), 0.15, 0.03);
+}
+
+TEST(LatencyModel, BaselineMatchesRramReadTime)
+{
+    // The deployed RRAM has a 25 ns read access time (Table 1).
+    LatencyModel m;
+    EXPECT_NEAR(m.baselineReadNs(512), 25.0, 5.0);
+}
+
+TEST(LatencyModel, RcNvmMatchesTable1ReadTime)
+{
+    // RC-NVM read access time is 29 ns (Table 1).
+    LatencyModel m;
+    EXPECT_NEAR(m.rcNvmReadNs(512), 29.0, 5.0);
+}
+
+} // namespace
+} // namespace rcnvm::circuit

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the trace-replay core and the machine assembly:
+ * issue/window semantics, compute timing, fences, pin ops, and
+ * multi-core runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+
+namespace rcnvm::cpu {
+namespace {
+
+MachineConfig
+smallMachine(mem::DeviceKind kind = mem::DeviceKind::RcNvm,
+             unsigned window = 8)
+{
+    MachineConfig config;
+    config.device = kind;
+    config.window = window;
+    return config;
+}
+
+TEST(MemOpTest, OrientationAndKindHelpers)
+{
+    EXPECT_EQ(MemOp::load(0).orientation(), Orientation::Row);
+    EXPECT_EQ(MemOp::cload(0).orientation(), Orientation::Column);
+    EXPECT_EQ(MemOp::cstore(0).orientation(), Orientation::Column);
+    EXPECT_TRUE(MemOp::store(0).isWrite());
+    EXPECT_TRUE(MemOp::cstore(0).isWrite());
+    EXPECT_FALSE(MemOp::cload(0).isWrite());
+    EXPECT_TRUE(MemOp::gload(0).isMemory());
+    EXPECT_FALSE(MemOp::compute(5).isMemory());
+    EXPECT_FALSE(MemOp::fence().isMemory());
+    EXPECT_EQ(MemOp::pin(0, 64, Orientation::Row).orientation(),
+              Orientation::Row);
+}
+
+TEST(MachineTest, EmptyPlanFinishesInstantly)
+{
+    Machine machine(smallMachine());
+    const RunResult r = machine.run(AccessPlan{});
+    EXPECT_EQ(r.ticks, 0u);
+}
+
+TEST(MachineTest, ComputeOnlyPlanTakesExactCycles)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan;
+    plan.push_back(MemOp::compute(100));
+    plan.push_back(MemOp::compute(23));
+    const RunResult r = machine.run(plan);
+    EXPECT_EQ(r.ticks, 123u * 500u);
+}
+
+TEST(MachineTest, SingleLoadCompletes)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::load(0x1000)};
+    const RunResult r = machine.run(plan);
+    EXPECT_GT(r.ticks, 0u);
+    EXPECT_DOUBLE_EQ(r.stats.get("cpu.memOps"), 1.0);
+    EXPECT_DOUBLE_EQ(r.stats.get("cache.llcMisses"), 1.0);
+    EXPECT_DOUBLE_EQ(r.stats.get("mem.reads"), 1.0);
+}
+
+TEST(MachineTest, CacheHitsAreFastOnRerun)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan;
+    for (unsigned i = 0; i < 16; ++i)
+        plan.push_back(MemOp::load(Addr{i} * 64));
+    const RunResult cold = machine.run(plan);
+    const RunResult warm = machine.run(plan);
+    EXPECT_LT(warm.ticks, cold.ticks);
+}
+
+TEST(MachineTest, WindowLimitsOverlap)
+{
+    // With window 1 the loads serialise; with window 8 they overlap
+    // across independent banks.
+    AccessPlan plan;
+    for (unsigned i = 0; i < 32; ++i)
+        plan.push_back(MemOp::load(Addr{i} << 26)); // distinct banks
+    Machine serial(smallMachine(mem::DeviceKind::RcNvm, 1));
+    Machine overlapped(smallMachine(mem::DeviceKind::RcNvm, 8));
+    const Tick t_serial = serial.run(plan).ticks;
+    const Tick t_overlap = overlapped.run(plan).ticks;
+    EXPECT_LT(t_overlap, t_serial);
+    EXPECT_LT(t_overlap * 2, t_serial); // substantial overlap
+}
+
+TEST(MachineTest, FenceDrainsBeforeCompute)
+{
+    // load(miss) ; fence ; compute -- total must exceed the miss
+    // latency plus the compute, not overlap them.
+    Machine no_fence(smallMachine());
+    Machine with_fence(smallMachine());
+    AccessPlan a{MemOp::load(0x4000), MemOp::compute(400)};
+    AccessPlan b{MemOp::load(0x4000), MemOp::fence(),
+                 MemOp::compute(400)};
+    const Tick ta = no_fence.run(a).ticks;
+    const Tick tb = with_fence.run(b).ticks;
+    EXPECT_GT(tb, ta); // fence forbids overlapping the compute
+    EXPECT_GE(tb, 400u * 500u);
+}
+
+TEST(MachineTest, StoresAreCountedAsWritesOnWriteback)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::store(0x100, 8)};
+    const RunResult r = machine.run(plan);
+    // Write-allocate: the store triggers a read fill.
+    EXPECT_DOUBLE_EQ(r.stats.get("mem.reads"), 1.0);
+    EXPECT_DOUBLE_EQ(r.stats.get("cpu.memOps"), 1.0);
+}
+
+TEST(MachineTest, MultiCorePlansRunConcurrently)
+{
+    Machine machine(smallMachine());
+    AccessPlan per_core;
+    for (unsigned i = 0; i < 64; ++i)
+        per_core.push_back(MemOp::compute(1000));
+    // One core alone vs four cores with the same per-core work:
+    // wall clock should be similar (compute is fully parallel).
+    Machine solo(smallMachine());
+    const Tick t1 = solo.run(per_core).ticks;
+    const Tick t4 =
+        machine.run(std::vector<AccessPlan>{per_core, per_core,
+                                            per_core, per_core})
+            .ticks;
+    EXPECT_NEAR(static_cast<double>(t4), static_cast<double>(t1),
+                static_cast<double>(t1) * 0.01);
+}
+
+TEST(MachineTest, CLoadUsesColumnPath)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::cload(0x0)};
+    const RunResult r = machine.run(plan);
+    EXPECT_DOUBLE_EQ(r.stats.get("mem.colAccesses"), 1.0);
+}
+
+TEST(MachineTest, PinUnpinOpsExecute)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::cload(0x0), MemOp::fence(),
+                    MemOp::pin(0x0, 64), MemOp::unpin(0x0, 64)};
+    const RunResult r = machine.run(plan);
+    EXPECT_DOUBLE_EQ(r.stats.get("cache.pinOps"), 2.0);
+}
+
+TEST(MachineTest, GatherPlanOnGsDram)
+{
+    Machine machine(smallMachine(mem::DeviceKind::GsDram));
+    AccessPlan plan{MemOp::gload(0x0), MemOp::gload(0x40)};
+    const RunResult r = machine.run(plan);
+    EXPECT_DOUBLE_EQ(r.stats.get("mem.gathered"), 2.0);
+    EXPECT_DOUBLE_EQ(r.stats.get("cache.bypasses"), 2.0);
+}
+
+TEST(MachineTest, DeterministicAcrossIdenticalRuns)
+{
+    AccessPlan plan;
+    for (unsigned i = 0; i < 100; ++i) {
+        plan.push_back(MemOp::load(Addr{i % 7} * 4096));
+        plan.push_back(MemOp::compute(3));
+    }
+    Machine a(smallMachine()), b(smallMachine());
+    EXPECT_EQ(a.run(plan).ticks, b.run(plan).ticks);
+}
+
+TEST(MachineTest, ResetRestoresColdCaches)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::load(0x1000)};
+    const Tick cold = machine.run(plan).ticks;
+    const Tick warm = machine.run(plan).ticks;
+    machine.reset();
+    const Tick cold_again = machine.run(plan).ticks;
+    EXPECT_LT(warm, cold);
+    EXPECT_EQ(cold_again, cold);
+}
+
+TEST(MachineDeathTest, TooManyPlansIsFatal)
+{
+    Machine machine(smallMachine());
+    const std::vector<AccessPlan> plans(
+        5, AccessPlan{MemOp::compute(1)});
+    EXPECT_EXIT(machine.run(plans), ::testing::ExitedWithCode(1),
+                "more plans");
+}
+
+} // namespace
+} // namespace rcnvm::cpu

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the cache hierarchy: level latencies, MESI coherence
+ * actions, the synonym engine (crossing bits, write propagation,
+ * eviction clean-up), pinning, and gather bypass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+
+namespace rcnvm::cache {
+namespace {
+
+struct Fixture {
+    sim::EventQueue eq;
+    mem::MemorySystem memory{mem::DeviceKind::RcNvm, eq};
+    HierarchyConfig config;
+    Hierarchy hierarchy{config, eq, memory};
+
+    /** Blocking access helper: returns the completion tick. */
+    Tick
+    access(unsigned core, Addr addr, Orientation o, bool write,
+           unsigned bytes = 64)
+    {
+        Tick done = 0;
+        CacheAccess a;
+        a.addr = addr;
+        a.orient = o;
+        a.isWrite = write;
+        a.bytes = bytes;
+        const Tick start = eq.now();
+        hierarchy.access(core, a, [&](Tick t) { done = t - start; });
+        eq.run();
+        return done;
+    }
+
+    Addr
+    rowAddr(unsigned row, unsigned col, unsigned bank = 0)
+    {
+        mem::DecodedAddr d;
+        d.bank = bank;
+        d.row = row;
+        d.col = col;
+        return memory.map().encode(d, Orientation::Row);
+    }
+
+    Addr
+    colAddr(unsigned row, unsigned col, unsigned bank = 0)
+    {
+        mem::DecodedAddr d;
+        d.bank = bank;
+        d.row = row;
+        d.col = col;
+        return memory.map().encode(d, Orientation::Column);
+    }
+};
+
+TEST(HierarchyTest, MissThenL1Hit)
+{
+    Fixture f;
+    const Tick miss = f.access(0, f.rowAddr(5, 0), Orientation::Row,
+                               false);
+    const Tick hit = f.access(0, f.rowAddr(5, 0), Orientation::Row,
+                              false);
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(hit, f.config.cpuPeriod * f.config.l1Latency);
+    EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.llcMisses"), 1.0);
+    EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.l1Hits"), 1.0);
+}
+
+TEST(HierarchyTest, SameLineDifferentWordHitsL1)
+{
+    Fixture f;
+    f.access(0, f.rowAddr(5, 0), Orientation::Row, false);
+    const Tick hit = f.access(0, f.rowAddr(5, 3), Orientation::Row,
+                              false, 8);
+    EXPECT_EQ(hit, f.config.cpuPeriod * f.config.l1Latency);
+}
+
+TEST(HierarchyTest, MissLatencyIncludesMemory)
+{
+    Fixture f;
+    const Tick miss = f.access(0, f.rowAddr(5, 0), Orientation::Row,
+                               false);
+    const Tick path =
+        f.config.cpuPeriod *
+        (f.config.l1Latency + f.config.l2Latency +
+         f.config.l3Latency);
+    EXPECT_GT(miss, path);
+}
+
+TEST(HierarchyTest, CrossCoreReadHitsL3)
+{
+    Fixture f;
+    f.access(0, f.rowAddr(5, 0), Orientation::Row, false);
+    const Tick other = f.access(1, f.rowAddr(5, 0), Orientation::Row,
+                                false);
+    const Tick l3 = f.config.cpuPeriod *
+                    (f.config.l1Latency + f.config.l2Latency +
+                     f.config.l3Latency);
+    EXPECT_EQ(other, l3);
+    EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.llcMisses"), 1.0);
+    EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.l3Hits"), 1.0);
+}
+
+TEST(HierarchyTest, RemoteDirtyFetchPaysPenalty)
+{
+    Fixture f;
+    f.access(0, f.rowAddr(5, 0), Orientation::Row, true); // dirty@0
+    const Tick other = f.access(1, f.rowAddr(5, 0), Orientation::Row,
+                                false);
+    const Tick l3 = f.config.cpuPeriod *
+                    (f.config.l1Latency + f.config.l2Latency +
+                     f.config.l3Latency);
+    EXPECT_EQ(other,
+              l3 + f.config.cpuPeriod * f.config.remoteFetchPenalty);
+    EXPECT_DOUBLE_EQ(
+        f.hierarchy.stats().get("cache.cohRemoteFetches"), 1.0);
+}
+
+TEST(HierarchyTest, WriteInvalidatesOtherCores)
+{
+    Fixture f;
+    f.access(0, f.rowAddr(5, 0), Orientation::Row, false);
+    f.access(1, f.rowAddr(5, 0), Orientation::Row, false);
+    // Core 1 writes: core 0's copy must be invalidated.
+    f.access(1, f.rowAddr(5, 0), Orientation::Row, true, 8);
+    EXPECT_GE(f.hierarchy.stats().get("cache.cohInvalidations"), 1.0);
+    // Core 0 reads again: not an L1 hit (copy was invalidated), and
+    // it must pay the remote-dirty penalty.
+    const Tick again = f.access(0, f.rowAddr(5, 0), Orientation::Row,
+                                false);
+    EXPECT_GT(again, f.config.cpuPeriod * f.config.l1Latency);
+}
+
+TEST(HierarchyTest, SynonymCrossingBitsSetOnFill)
+{
+    Fixture f;
+    // Load a column line, then a crossing row line: the fill must
+    // detect the crossing.
+    f.access(0, f.colAddr(437, 182), Orientation::Column, false);
+    f.access(0, f.rowAddr(437, 176), Orientation::Row, false);
+    EXPECT_GE(f.hierarchy.stats().get("cache.crossingsFound"), 1.0);
+    EXPECT_GT(f.hierarchy.stats().get("cache.synonymProbes"), 0.0);
+}
+
+TEST(HierarchyTest, NoCrossingProbesWhenSingleOrientation)
+{
+    Fixture f;
+    for (unsigned r = 0; r < 16; ++r)
+        f.access(0, f.rowAddr(r, 0), Orientation::Row, false);
+    // Only row lines cached: the orientation filter skips probes.
+    EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.synonymProbes"),
+                     0.0);
+}
+
+TEST(HierarchyTest, WriteToCrossedWordPropagates)
+{
+    Fixture f;
+    f.access(0, f.colAddr(437, 182), Orientation::Column, false);
+    f.access(0, f.rowAddr(437, 176), Orientation::Row, false);
+    // Word 6 of the row line (col 176+6 = 182) crosses the cached
+    // column line; writing it must update the partner.
+    f.access(0, f.rowAddr(437, 182), Orientation::Row, true, 8);
+    EXPECT_GE(f.hierarchy.stats().get("cache.synonymUpdates"), 1.0);
+    EXPECT_GT(f.hierarchy.stats().get("cache.synonymTicks"), 0.0);
+}
+
+TEST(HierarchyTest, WriteToUncrossedWordDoesNotPropagate)
+{
+    Fixture f;
+    f.access(0, f.colAddr(437, 182), Orientation::Column, false);
+    f.access(0, f.rowAddr(437, 176), Orientation::Row, false);
+    // Word 0 (col 176) does not cross the cached column line 182.
+    f.access(0, f.rowAddr(437, 176), Orientation::Row, true, 8);
+    EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.synonymUpdates"),
+                     0.0);
+}
+
+TEST(HierarchyTest, SynonymDisabledOnRowOnlyDevices)
+{
+    sim::EventQueue eq;
+    mem::MemorySystem memory(mem::DeviceKind::Dram, eq);
+    HierarchyConfig config;
+    Hierarchy hierarchy(config, eq, memory);
+    CacheAccess a;
+    a.addr = 0x1000;
+    hierarchy.access(0, a, [](Tick) {});
+    eq.run();
+    EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.synonymProbes"),
+                     0.0);
+}
+
+TEST(HierarchyTest, PinRangeProtectsLinesInL3)
+{
+    Fixture f;
+    const Addr base = f.colAddr(0, 7);
+    f.access(0, base, Orientation::Column, false);
+    EXPECT_EQ(f.hierarchy.pinRange(base, Orientation::Column, 64,
+                                   true),
+              1u);
+    EXPECT_EQ(f.hierarchy.pinRange(base, Orientation::Column, 64,
+                                   false),
+              1u);
+    // Pinning a range that is not cached changes nothing.
+    EXPECT_EQ(f.hierarchy.pinRange(f.colAddr(512, 99),
+                                   Orientation::Column, 128, true),
+              0u);
+}
+
+TEST(HierarchyTest, GatherBypassSkipsCaches)
+{
+    sim::EventQueue eq;
+    mem::MemorySystem memory(mem::DeviceKind::GsDram, eq);
+    HierarchyConfig config;
+    Hierarchy hierarchy(config, eq, memory);
+    CacheAccess a;
+    a.addr = 0x2000;
+    a.bypass = true;
+    Tick done = 0;
+    hierarchy.access(0, a, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.bypasses"), 1.0);
+    EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.llcMisses"), 1.0);
+    // A second identical gather still goes to memory.
+    hierarchy.access(0, a, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.llcMisses"), 2.0);
+}
+
+TEST(HierarchyTest, DirtyEvictionWritesBack)
+{
+    Fixture f;
+    // Dirty many distinct L3 sets is hard at 8 MB; instead shrink
+    // the hierarchy so eviction happens quickly.
+    HierarchyConfig small;
+    small.l1 = CacheConfig{"L1", 512, 64, 2};
+    small.l2 = CacheConfig{"L2", 1024, 64, 2};
+    small.l3 = CacheConfig{"L3", 2048, 64, 2};
+    sim::EventQueue eq;
+    mem::MemorySystem memory(mem::DeviceKind::RcNvm, eq);
+    Hierarchy hierarchy(small, eq, memory);
+    // Write lines mapping to one L3 set until it spills.
+    for (unsigned i = 0; i < 8; ++i) {
+        mem::DecodedAddr d;
+        d.row = i;
+        CacheAccess a;
+        a.addr = memory.map().encode(d, Orientation::Row);
+        a.isWrite = true;
+        a.bytes = 8;
+        hierarchy.access(0, a, [](Tick) {});
+        eq.run();
+    }
+    EXPECT_GT(hierarchy.stats().get("cache.writebacks"), 0.0);
+    EXPECT_GT(memory.stats().get("mem.writes"), 0.0);
+}
+
+TEST(HierarchyTest, StatsResetClearsEverything)
+{
+    Fixture f;
+    f.access(0, f.rowAddr(1, 0), Orientation::Row, true);
+    f.hierarchy.reset();
+    const auto stats = f.hierarchy.stats();
+    EXPECT_DOUBLE_EQ(stats.get("cache.accesses"), 0.0);
+    EXPECT_DOUBLE_EQ(stats.get("cache.llcMisses"), 0.0);
+    // And the data is gone: the next access misses again.
+    const Tick miss = f.access(0, f.rowAddr(1, 0), Orientation::Row,
+                               false);
+    EXPECT_GT(miss, f.config.cpuPeriod * f.config.l1Latency);
+}
+
+} // namespace
+} // namespace rcnvm::cache

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the Figure-7 dual addressing scheme: geometry
+ * capacities, encode/decode round trips, row/column conversion, and
+ * the adjacency properties the paper relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/geometry.hh"
+#include "util/random.hh"
+
+namespace rcnvm::mem {
+namespace {
+
+TEST(Geometry, RcNvmMatchesTable1)
+{
+    const Geometry g = Geometry::rcNvm();
+    EXPECT_EQ(g.channels, 2u);
+    EXPECT_EQ(g.ranksPerChannel, 4u);
+    EXPECT_EQ(g.banksPerRank, 8u);
+    EXPECT_EQ(g.subarraysPerBank, 8u);
+    EXPECT_EQ(g.rowsPerSubarray, 1024u);
+    EXPECT_EQ(g.colsPerSubarray, 1024u);
+    // 4 GB total, 8 MB subarrays, 8 KB rows (Sec. 4.5.1).
+    EXPECT_EQ(g.capacityBytes(), 4ull << 30);
+    EXPECT_EQ(g.subarrayBytes(), 8ull << 20);
+    EXPECT_EQ(g.rowBytes(), 8192u);
+    EXPECT_EQ(g.columnBytes(), 8192u);
+}
+
+TEST(Geometry, DramMatchesTable1)
+{
+    const Geometry g = Geometry::dram();
+    EXPECT_EQ(g.channels, 2u);
+    EXPECT_EQ(g.ranksPerChannel, 2u);
+    EXPECT_EQ(g.banksPerRank, 8u);
+    EXPECT_EQ(g.rowsPerSubarray, 65536u);
+    EXPECT_EQ(g.colsPerSubarray, 256u);
+    EXPECT_EQ(g.capacityBytes(), 4ull << 30);
+    EXPECT_EQ(g.rowBytes(), 2048u); // 2 KB row buffer
+}
+
+TEST(Geometry, RramSharesRcNvmOrganisation)
+{
+    EXPECT_EQ(Geometry::rram().capacityBytes(), 4ull << 30);
+    EXPECT_EQ(Geometry::rram().rowBytes(), 8192u);
+}
+
+TEST(AddressMap, UsesExactly32Bits)
+{
+    // Figure 7 shows a 32-bit physical address.
+    EXPECT_EQ(AddressMap(Geometry::rcNvm()).addressBits(), 32u);
+    EXPECT_EQ(AddressMap(Geometry::dram()).addressBits(), 32u);
+}
+
+TEST(AddressMap, EncodeDecodeRoundTripRow)
+{
+    AddressMap map(Geometry::rcNvm());
+    DecodedAddr d;
+    d.channel = 1;
+    d.rank = 3;
+    d.bank = 5;
+    d.subarray = 2;
+    d.row = 437;
+    d.col = 182;
+    d.offset = 4;
+    const Addr a = map.encode(d, Orientation::Row);
+    EXPECT_EQ(map.decode(a, Orientation::Row), d);
+}
+
+TEST(AddressMap, EncodeDecodeRoundTripColumn)
+{
+    AddressMap map(Geometry::rcNvm());
+    DecodedAddr d;
+    d.channel = 0;
+    d.rank = 1;
+    d.bank = 7;
+    d.subarray = 6;
+    d.row = 1023;
+    d.col = 1;
+    const Addr a = map.encode(d, Orientation::Column);
+    EXPECT_EQ(map.decode(a, Orientation::Column), d);
+}
+
+TEST(AddressMap, ConversionPreservesLocation)
+{
+    // Sec. 4.2.1: the same cell has two addresses differing only in
+    // the order of row and column bits.
+    AddressMap map(Geometry::rcNvm());
+    DecodedAddr d;
+    d.channel = 1;
+    d.rank = 2;
+    d.bank = 3;
+    d.subarray = 4;
+    d.row = 100;
+    d.col = 200;
+    const Addr row_addr = map.encode(d, Orientation::Row);
+    const Addr col_addr =
+        map.convert(row_addr, Orientation::Row, Orientation::Column);
+    EXPECT_EQ(map.decode(col_addr, Orientation::Column), d);
+}
+
+TEST(AddressMap, ConversionIsInvolution)
+{
+    AddressMap map(Geometry::rcNvm());
+    util::Random rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const Addr a = rng.next() & 0xffffffffull & ~7ull;
+        const Addr there =
+            map.convert(a, Orientation::Row, Orientation::Column);
+        const Addr back = map.convert(there, Orientation::Column,
+                                      Orientation::Row);
+        EXPECT_EQ(back, a);
+    }
+}
+
+TEST(AddressMap, SameOrientationConversionIsIdentity)
+{
+    AddressMap map(Geometry::rcNvm());
+    EXPECT_EQ(map.convert(0x1234560, Orientation::Row,
+                          Orientation::Row),
+              0x1234560u);
+}
+
+TEST(AddressMap, RowAddressIncrementWalksAlongRow)
+{
+    // "When the row-oriented address is increased, the column bit
+    // is increased. It represents the case of scanning on a
+    // physical row."
+    AddressMap map(Geometry::rcNvm());
+    DecodedAddr d;
+    d.row = 10;
+    d.col = 20;
+    const Addr a = map.encode(d, Orientation::Row);
+    const DecodedAddr next = map.decode(a + 8, Orientation::Row);
+    EXPECT_EQ(next.row, d.row);
+    EXPECT_EQ(next.col, d.col + 1);
+}
+
+TEST(AddressMap, ColumnAddressIncrementWalksDownColumn)
+{
+    AddressMap map(Geometry::rcNvm());
+    DecodedAddr d;
+    d.row = 10;
+    d.col = 20;
+    const Addr a = map.encode(d, Orientation::Column);
+    const DecodedAddr next = map.decode(a + 8, Orientation::Column);
+    EXPECT_EQ(next.col, d.col);
+    EXPECT_EQ(next.row, d.row + 1);
+}
+
+TEST(AddressMap, HighFieldsIdenticalAcrossOrientations)
+{
+    // Channel/rank/bank/subarray bits sit above the swapped fields,
+    // so both addresses of one cell route identically.
+    AddressMap map(Geometry::rcNvm());
+    util::Random rng(123);
+    for (int i = 0; i < 100; ++i) {
+        const Addr a = rng.next() & 0xffffffffull;
+        const DecodedAddr dr = map.decode(a, Orientation::Row);
+        const DecodedAddr dc = map.decode(a, Orientation::Column);
+        EXPECT_EQ(dr.channel, dc.channel);
+        EXPECT_EQ(dr.rank, dc.rank);
+        EXPECT_EQ(dr.bank, dc.bank);
+        EXPECT_EQ(dr.subarray, dc.subarray);
+    }
+}
+
+TEST(AddressMap, PaperExampleCrossPoint)
+{
+    // Figure 8 example: the same 8 bytes at (row 437, col 182) have
+    // a row-oriented and a column-oriented address that convert to
+    // each other.
+    AddressMap map(Geometry::rcNvm());
+    DecodedAddr d;
+    d.row = 437;
+    d.col = 182;
+    const Addr ra = map.encode(d, Orientation::Row);
+    const Addr ca = map.encode(d, Orientation::Column);
+    EXPECT_EQ(map.convert(ra, Orientation::Row, Orientation::Column),
+              ca);
+    EXPECT_NE(ra, ca);
+}
+
+TEST(AddressMap, LineAddrAligns)
+{
+    AddressMap map(Geometry::rcNvm());
+    EXPECT_EQ(map.lineAddr(0x1237), 0x1200u);
+    EXPECT_EQ(map.lineAddr(0x1240), 0x1240u);
+}
+
+/** Round-trip property over random decoded addresses. */
+class AddressRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AddressRoundTrip, RandomizedRoundTripsBothOrientations)
+{
+    AddressMap map(Geometry::rcNvm());
+    util::Random rng(GetParam());
+    const Geometry &g = map.geometry();
+    for (int i = 0; i < 200; ++i) {
+        DecodedAddr d;
+        d.channel = static_cast<unsigned>(
+            rng.nextBounded(g.channels));
+        d.rank = static_cast<unsigned>(
+            rng.nextBounded(g.ranksPerChannel));
+        d.bank = static_cast<unsigned>(
+            rng.nextBounded(g.banksPerRank));
+        d.subarray = static_cast<unsigned>(
+            rng.nextBounded(g.subarraysPerBank));
+        d.row = static_cast<unsigned>(
+            rng.nextBounded(g.rowsPerSubarray));
+        d.col = static_cast<unsigned>(
+            rng.nextBounded(g.colsPerSubarray));
+        d.offset =
+            static_cast<unsigned>(rng.nextBounded(g.wordBytes));
+        for (const auto o :
+             {Orientation::Row, Orientation::Column}) {
+            EXPECT_EQ(map.decode(map.encode(d, o), o), d);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(AddressMapDeathTest, RejectsNonPowerOfTwoGeometry)
+{
+    Geometry g = Geometry::rcNvm();
+    g.rowsPerSubarray = 1000;
+    EXPECT_EXIT(AddressMap{g}, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace
+} // namespace rcnvm::mem

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Golden "paper shape" regression tests: one run of the key
+ * evaluation comparisons at a fixed reduced scale, asserting the
+ * qualitative relationships the paper reports. If a future change
+ * breaks any headline conclusion of the reproduction, these fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "util/logging.hh"
+
+namespace rcnvm::core {
+namespace {
+
+using workload::QueryId;
+
+class PaperShape : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        util::setLogLevel(util::LogLevel::Quiet);
+        tables_ = new workload::TableSet(
+            workload::TableSet::standard(32768, 8192, 42));
+        workload_ = new workload::QueryWorkload(*tables_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete workload_;
+        delete tables_;
+        workload_ = nullptr;
+        tables_ = nullptr;
+    }
+
+    static ExperimentResult
+    run(mem::DeviceKind kind, QueryId id)
+    {
+        return runQuery(kind, *workload_, id);
+    }
+
+    static workload::TableSet *tables_;
+    static workload::QueryWorkload *workload_;
+};
+
+workload::TableSet *PaperShape::tables_ = nullptr;
+workload::QueryWorkload *PaperShape::workload_ = nullptr;
+
+TEST_F(PaperShape, RcNvmBeatsRramOnTwelveOfThirteenQueries)
+{
+    const QueryId wins[] = {
+        QueryId::Q1,  QueryId::Q2,  QueryId::Q4, QueryId::Q5,
+        QueryId::Q6,  QueryId::Q7,  QueryId::Q8, QueryId::Q9,
+        QueryId::Q10, QueryId::Q11, QueryId::Q12, QueryId::Q13,
+    };
+    for (const QueryId id : wins) {
+        EXPECT_LT(run(mem::DeviceKind::RcNvm, id).ticks,
+                  run(mem::DeviceKind::Rram, id).ticks)
+            << workload::querySpec(id).name;
+    }
+}
+
+TEST_F(PaperShape, DramWinsOnlyTheSequentialScanQuery)
+{
+    // Q3 is the paper's single DRAM win...
+    EXPECT_LT(run(mem::DeviceKind::Dram, QueryId::Q3).ticks,
+              run(mem::DeviceKind::RcNvm, QueryId::Q3).ticks);
+    // ... and the OLAP aggregates go decisively to RC-NVM.
+    for (const QueryId id : {QueryId::Q4, QueryId::Q6}) {
+        const auto rc = run(mem::DeviceKind::RcNvm, id);
+        const auto dram = run(mem::DeviceKind::Dram, id);
+        EXPECT_GT(static_cast<double>(dram.ticks),
+                  1.5 * static_cast<double>(rc.ticks))
+            << workload::querySpec(id).name;
+    }
+}
+
+TEST_F(PaperShape, AggregateSpeedupVsRramIsLarge)
+{
+    // Paper: up to 14.5x (Q6). Our stronger baselines compress this
+    // to ~4x at full scale; guard a conservative 2.5x here.
+    const auto rc = run(mem::DeviceKind::RcNvm, QueryId::Q6);
+    const auto rram = run(mem::DeviceKind::Rram, QueryId::Q6);
+    EXPECT_GT(static_cast<double>(rram.ticks),
+              2.5 * static_cast<double>(rc.ticks));
+}
+
+TEST_F(PaperShape, GsDramSitsBetweenDramAndRcNvmOnGatherables)
+{
+    // Fig 18/19: gathers help Q4/Q6; RC-NVM still wins them.
+    for (const QueryId id : {QueryId::Q4, QueryId::Q6}) {
+        const auto rc = run(mem::DeviceKind::RcNvm, id);
+        const auto gs = run(mem::DeviceKind::GsDram, id);
+        const auto dram = run(mem::DeviceKind::Dram, id);
+        EXPECT_LT(gs.ticks, dram.ticks)
+            << workload::querySpec(id).name;
+        EXPECT_LT(rc.ticks, gs.ticks)
+            << workload::querySpec(id).name;
+    }
+}
+
+TEST_F(PaperShape, GsDramMatchesDramOnNonGatherables)
+{
+    for (const QueryId id : {QueryId::Q2, QueryId::Q5, QueryId::Q7,
+                             QueryId::Q12}) {
+        EXPECT_EQ(run(mem::DeviceKind::GsDram, id).ticks,
+                  run(mem::DeviceKind::Dram, id).ticks)
+            << workload::querySpec(id).name;
+    }
+}
+
+TEST_F(PaperShape, LlcMissesBelowHalfOfDramOnScans)
+{
+    for (const QueryId id : {QueryId::Q1, QueryId::Q4, QueryId::Q6,
+                             QueryId::Q10}) {
+        const auto rc = run(mem::DeviceKind::RcNvm, id);
+        const auto dram = run(mem::DeviceKind::Dram, id);
+        EXPECT_LT(rc.llcMisses() * 2.0, dram.llcMisses())
+            << workload::querySpec(id).name;
+    }
+}
+
+TEST_F(PaperShape, SynonymOverheadWithinPaperBand)
+{
+    for (const QueryId id : {QueryId::Q1, QueryId::Q2, QueryId::Q8,
+                             QueryId::Q12}) {
+        const auto r = run(mem::DeviceKind::RcNvm, id);
+        EXPECT_LE(r.coherenceOverheadRatio(), 0.034)
+            << workload::querySpec(id).name; // paper max 3.4%
+    }
+}
+
+TEST_F(PaperShape, RcNvmUsesLessMemoryEnergyOnScans)
+{
+    for (const QueryId id : {QueryId::Q4, QueryId::Q6}) {
+        const auto rc = run(mem::DeviceKind::RcNvm, id);
+        const auto dram = run(mem::DeviceKind::Dram, id);
+        EXPECT_LT(rc.stats.get("mem.energyPJ"),
+                  dram.stats.get("mem.energyPJ"))
+            << workload::querySpec(id).name;
+    }
+}
+
+} // namespace
+} // namespace rcnvm::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event ordering, time
+ * advancement, and clock-domain conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+
+namespace rcnvm::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.schedule(3, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, EmptyRunIsNoop)
+{
+    EventQueue eq;
+    eq.run();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueueDeathTest, PanicsOnPastEvent)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        eq.schedule(5, [] {}); // in the past
+    });
+    EXPECT_DEATH(eq.run(), "scheduled in the past");
+}
+
+TEST(ClockDomain, CycleTickConversions)
+{
+    ClockDomain clk(2500);
+    EXPECT_EQ(clk.period(), 2500u);
+    EXPECT_EQ(clk.cyclesToTicks(4), 10000u);
+    EXPECT_EQ(clk.ticksToCycles(10000), 4u);
+    EXPECT_EQ(clk.ticksToCycles(10001), 5u); // rounds up
+}
+
+TEST(ClockDomain, NextEdge)
+{
+    ClockDomain clk(750);
+    EXPECT_EQ(clk.nextEdgeAt(0), 0u);
+    EXPECT_EQ(clk.nextEdgeAt(1), 750u);
+    EXPECT_EQ(clk.nextEdgeAt(750), 750u);
+    EXPECT_EQ(clk.nextEdgeAt(751), 1500u);
+}
+
+TEST(ClockDomain, CpuClockIs2GHz)
+{
+    EXPECT_EQ(cpuClock().period(), 500u);
+}
+
+} // namespace
+} // namespace rcnvm::sim

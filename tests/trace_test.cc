@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the access-trace serialisation: round trips for every
+ * op kind, format details, error handling, and replay equivalence
+ * (a replayed trace must time exactly like the original plan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/machine.hh"
+#include "mem/memory_system.hh"
+#include "trace/trace_io.hh"
+#include "workload/queries.hh"
+
+namespace rcnvm::trace {
+namespace {
+
+using cpu::AccessPlan;
+using cpu::MemOp;
+using cpu::OpKind;
+
+bool
+sameOp(const MemOp &a, const MemOp &b)
+{
+    return a.kind == b.kind && a.addr == b.addr &&
+           a.bytes == b.bytes && a.computeCycles == b.computeCycles &&
+           a.orientation() == b.orientation();
+}
+
+TEST(TraceIo, RoundTripsEveryOpKind)
+{
+    std::vector<AccessPlan> plans(2);
+    plans[0] = {
+        MemOp::load(0x1000),
+        MemOp::store(0x2008, 8),
+        MemOp::cload(0x3000),
+        MemOp::cstore(0x4010, 8),
+        MemOp::cprefetch(0x5000, Orientation::Column),
+        MemOp::cprefetch(0x5040, Orientation::Row),
+        MemOp::gload(0x6000),
+        MemOp::compute(1234),
+        MemOp::pin(0x7000, 2048, Orientation::Column),
+        MemOp::unpin(0x7000, 2048, Orientation::Column),
+        MemOp::fence(),
+    };
+    plans[1] = {MemOp::load(0xdeadbec0)};
+
+    const auto parsed = fromString(toString(plans));
+    ASSERT_EQ(parsed.size(), plans.size());
+    for (std::size_t c = 0; c < plans.size(); ++c) {
+        ASSERT_EQ(parsed[c].size(), plans[c].size()) << "core " << c;
+        for (std::size_t i = 0; i < plans[c].size(); ++i) {
+            EXPECT_TRUE(sameOp(parsed[c][i], plans[c][i]))
+                << "core " << c << " op " << i;
+        }
+    }
+}
+
+TEST(TraceIo, EmptyPlansRoundTrip)
+{
+    std::vector<AccessPlan> plans(3); // three idle cores
+    const auto parsed = fromString(toString(plans));
+    EXPECT_EQ(parsed.size(), 3u);
+    for (const auto &plan : parsed)
+        EXPECT_TRUE(plan.empty());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored)
+{
+    const auto plans = fromString(
+        "# a comment\n\n@core 0\n# another\nL 0x40\n\nF\n");
+    ASSERT_EQ(plans.size(), 1u);
+    ASSERT_EQ(plans[0].size(), 2u);
+    EXPECT_EQ(plans[0][0].kind, OpKind::Load);
+    EXPECT_EQ(plans[0][1].kind, OpKind::Fence);
+}
+
+TEST(TraceIo, SparseCoreSectionsKeepIndices)
+{
+    const auto plans = fromString("@core 2\nL 0x40\n");
+    ASSERT_EQ(plans.size(), 3u);
+    EXPECT_TRUE(plans[0].empty());
+    EXPECT_TRUE(plans[1].empty());
+    EXPECT_EQ(plans[2].size(), 1u);
+}
+
+TEST(TraceIo, HexAndDecimalAddressesAccepted)
+{
+    const auto plans = fromString("@core 0\nL 0x40\nL 128\n");
+    EXPECT_EQ(plans[0][0].addr, 0x40u);
+    EXPECT_EQ(plans[0][1].addr, 128u);
+}
+
+TEST(TraceIoDeathTest, UnknownTagIsFatal)
+{
+    EXPECT_EXIT((void)fromString("@core 0\nXYZ 0x40\n"),
+                ::testing::ExitedWithCode(1), "unknown tag");
+}
+
+TEST(TraceIoDeathTest, MissingOperandIsFatal)
+{
+    EXPECT_EXIT((void)fromString("@core 0\nS 0x40\n"),
+                ::testing::ExitedWithCode(1), "missing bytes");
+    EXPECT_EXIT((void)fromString("@core 0\nL\n"),
+                ::testing::ExitedWithCode(1), "missing address");
+    EXPECT_EXIT((void)fromString("@core 0\nCP 0x40 Q\n"),
+                ::testing::ExitedWithCode(1), "orientation");
+}
+
+TEST(TraceIo, ReplayMatchesOriginalTiming)
+{
+    // Compile a real query, round-trip it through the trace format,
+    // and verify the replay is tick-identical.
+    const workload::TableSet tables =
+        workload::TableSet::standard(2048, 1024, 5);
+    const workload::QueryWorkload wl(tables);
+    mem::AddressMap map(mem::geometryFor(mem::DeviceKind::RcNvm));
+    const auto pd = wl.place(mem::DeviceKind::RcNvm, map);
+    const auto q = wl.compile(workload::QueryId::Q1, pd, 4);
+
+    const auto replayed = fromString(toString(q.phases[0]));
+
+    cpu::MachineConfig config;
+    config.device = mem::DeviceKind::RcNvm;
+    cpu::Machine original(config), replay(config);
+    EXPECT_EQ(original.run(q.phases[0]).ticks,
+              replay.run(replayed).ticks);
+}
+
+} // namespace
+} // namespace rcnvm::trace

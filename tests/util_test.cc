@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the util module: bit manipulation, RNG,
+ * statistics containers, logging levels, and table printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table_printer.hh"
+#include "util/types.hh"
+
+namespace rcnvm::util {
+namespace {
+
+TEST(Bitfield, BitsExtractsLowField)
+{
+    EXPECT_EQ(bits(0xffu, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xf0u, 4, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeefull, 0, 32), 0xdeadbeefull);
+}
+
+TEST(Bitfield, BitsHandlesFullWidth)
+{
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+    EXPECT_EQ(bits(~0ull, 1, 64), ~0ull >> 1);
+}
+
+TEST(Bitfield, BitsOfZeroIsZero)
+{
+    for (unsigned first = 0; first < 64; ++first)
+        EXPECT_EQ(bits(0, first, 8), 0u);
+}
+
+TEST(Bitfield, InsertBitsRoundTripsWithBits)
+{
+    const std::uint64_t base = 0x123456789abcdef0ull;
+    for (unsigned first = 0; first < 56; first += 7) {
+        const std::uint64_t v = insertBits(base, first, 5, 0x15);
+        EXPECT_EQ(bits(v, first, 5), 0x15u);
+    }
+}
+
+TEST(Bitfield, InsertBitsPreservesOtherBits)
+{
+    const std::uint64_t v = insertBits(0xffffffffull, 8, 8, 0);
+    EXPECT_EQ(v, 0xffff00ffull);
+}
+
+TEST(Bitfield, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+}
+
+TEST(Bitfield, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(1024), 10u);
+    EXPECT_EQ(log2i(1ull << 40), 40u);
+}
+
+TEST(Bitfield, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(127, 64), 64u);
+    EXPECT_EQ(alignDown(128, 64), 128u);
+    EXPECT_EQ(alignUp(127, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+}
+
+TEST(Bitfield, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+}
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_EQ(nsToTicks(25.0), 25000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+}
+
+TEST(Types, OrientationHelpers)
+{
+    EXPECT_EQ(flip(Orientation::Row), Orientation::Column);
+    EXPECT_EQ(flip(Orientation::Column), Orientation::Row);
+    EXPECT_STREQ(toString(Orientation::Row), "row");
+    EXPECT_STREQ(toString(Orientation::Column), "column");
+}
+
+TEST(Random, DeterministicForSeed)
+{
+    Random a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Random rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Random, BoundedCoversRange)
+{
+    Random rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.nextBounded(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 300); // roughly uniform
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Random rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, BernoulliFrequency)
+{
+    Random rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, SampledTracksMoments)
+{
+    Sampled s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(Stats, SampledEmptyIsZero)
+{
+    Sampled s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, MapSetAddGet)
+{
+    StatsMap m;
+    EXPECT_DOUBLE_EQ(m.get("missing"), 0.0);
+    EXPECT_DOUBLE_EQ(m.get("missing", 7.0), 7.0);
+    m.set("a", 1.0);
+    m.add("a", 2.0);
+    EXPECT_DOUBLE_EQ(m.get("a"), 3.0);
+    EXPECT_TRUE(m.contains("a"));
+    EXPECT_FALSE(m.contains("b"));
+}
+
+TEST(Stats, MapMergeSumsSharedNames)
+{
+    StatsMap a, b;
+    a.set("x", 1.0);
+    a.set("y", 2.0);
+    b.set("y", 3.0);
+    b.set("z", 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 1.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
+    EXPECT_DOUBLE_EQ(a.get("z"), 4.0);
+}
+
+TEST(TablePrinterTest, FormatsAlignedColumns)
+{
+    TablePrinter t("demo");
+    t.addRow({"name", "value"});
+    t.addRow({"long-name-here", "1"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-name-here"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace rcnvm::util

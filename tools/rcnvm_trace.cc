@@ -1,0 +1,180 @@
+/**
+ * @file
+ * rcnvm_trace: dump Table-2 query workloads as portable memory
+ * traces and replay traces on any of the four device models —
+ * the command-line counterpart of the paper's RCNVMTrace artifact.
+ *
+ *   rcnvm_trace list
+ *   rcnvm_trace dump <Q1..Q15> <rcnvm|rram|dram|gsdram> [file]
+ *   rcnvm_trace run  <rcnvm|rram|dram|gsdram> <file>
+ *
+ * Scale with RCNVM_TUPLES (default 65536 for traces).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "mem/memory_system.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+using namespace rcnvm;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  rcnvm_trace list\n"
+           "  rcnvm_trace dump <Q1..Q15> <device> [file]\n"
+           "  rcnvm_trace run <device> <file>\n"
+           "devices: rcnvm, rram, dram, gsdram\n";
+    return 2;
+}
+
+bool
+parseDevice(const std::string &name, mem::DeviceKind &kind)
+{
+    if (name == "rcnvm")
+        kind = mem::DeviceKind::RcNvm;
+    else if (name == "rram")
+        kind = mem::DeviceKind::Rram;
+    else if (name == "dram")
+        kind = mem::DeviceKind::Dram;
+    else if (name == "gsdram")
+        kind = mem::DeviceKind::GsDram;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseQuery(const std::string &name, workload::QueryId &id)
+{
+    for (const auto &spec : workload::allQueries()) {
+        if (name == spec.name) {
+            id = spec.id;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+traceTuples()
+{
+    if (const char *env = std::getenv("RCNVM_TUPLES"))
+        return std::strtoull(env, nullptr, 10);
+    return 65536;
+}
+
+int
+cmdList()
+{
+    for (const auto &spec : workload::allQueries()) {
+        std::cout << spec.name << "  [" << spec.category << "]  "
+                  << spec.sql << "\n";
+    }
+    return 0;
+}
+
+int
+cmdDump(const std::string &query_name, const std::string &device,
+        const char *path)
+{
+    workload::QueryId id;
+    mem::DeviceKind kind;
+    if (!parseQuery(query_name, id) || !parseDevice(device, kind))
+        return usage();
+
+    const workload::TableSet tables =
+        workload::TableSet::standard(traceTuples());
+    const workload::QueryWorkload wl(tables);
+    mem::AddressMap map(mem::geometryFor(kind));
+    const workload::PlacedDatabase pd = wl.place(kind, map);
+    const workload::CompiledQuery q = wl.compile(id, pd);
+
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (path) {
+        file.open(path);
+        if (!file)
+            rcnvm_fatal("cannot open ", path, " for writing");
+        os = &file;
+    }
+    *os << "# query " << query_name << " on " << toString(kind)
+        << ", " << traceTuples() << " tuples per table\n";
+    for (std::size_t phase = 0; phase < q.phases.size(); ++phase) {
+        *os << "# phase " << phase
+            << " (phases are separated by full fences)\n";
+        trace::writeTrace(*os, q.phases[phase]);
+        if (phase + 1 < q.phases.size()) {
+            // A fence on every core keeps phase boundaries intact
+            // when the trace is replayed as one flat plan set.
+            for (std::size_t c = 0; c < q.phases[phase].size();
+                 ++c) {
+                *os << "@core " << c << "\nF\n";
+            }
+        }
+    }
+    if (path) {
+        std::cout << "wrote " << q.totalOps() << " ops to " << path
+                  << "\n";
+    }
+    return 0;
+}
+
+int
+cmdRun(const std::string &device, const char *path)
+{
+    mem::DeviceKind kind;
+    if (!parseDevice(device, kind))
+        return usage();
+    std::ifstream file(path);
+    if (!file)
+        rcnvm_fatal("cannot open trace file ", path);
+    const auto plans = trace::readTrace(file);
+
+    cpu::MachineConfig config = core::table1Machine(kind);
+    if (plans.size() > config.hierarchy.cores)
+        rcnvm_fatal("trace has ", plans.size(),
+                    " cores; the machine has ",
+                    config.hierarchy.cores);
+
+    const auto r = core::runPlans(config, plans);
+    std::cout << "device:           " << toString(kind) << "\n"
+              << "cores in trace:   " << plans.size() << "\n"
+              << "execution:        " << r.megacycles()
+              << " Mcycles (" << r.ticks / 1000000.0 << " us)\n"
+              << "LLC misses:       " << r.llcMisses() << "\n"
+              << "memory requests:  " << r.stats.get("mem.requests")
+              << "\n"
+              << "buffer miss rate: "
+              << 100.0 * r.bufferMissRate() << "%\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::setLogLevel(util::LogLevel::Quiet);
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "dump" && (argc == 4 || argc == 5))
+        return cmdDump(argv[2], argv[3], argc == 5 ? argv[4]
+                                                   : nullptr);
+    if (cmd == "run" && argc == 4)
+        return cmdRun(argv[2], argv[3]);
+    return usage();
+}
