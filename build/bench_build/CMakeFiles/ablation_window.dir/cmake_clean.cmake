@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_window"
+  "../bench/ablation_window.pdb"
+  "CMakeFiles/ablation_window.dir/ablation_window.cc.o"
+  "CMakeFiles/ablation_window.dir/ablation_window.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

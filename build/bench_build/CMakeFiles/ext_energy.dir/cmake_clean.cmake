@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_energy"
+  "../bench/ext_energy.pdb"
+  "CMakeFiles/ext_energy.dir/ext_energy.cc.o"
+  "CMakeFiles/ext_energy.dir/ext_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

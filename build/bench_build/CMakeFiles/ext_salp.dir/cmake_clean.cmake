@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_salp"
+  "../bench/ext_salp.pdb"
+  "CMakeFiles/ext_salp.dir/ext_salp.cc.o"
+  "CMakeFiles/ext_salp.dir/ext_salp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_salp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

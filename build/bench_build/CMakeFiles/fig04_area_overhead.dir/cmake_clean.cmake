@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_area_overhead"
+  "../bench/fig04_area_overhead.pdb"
+  "CMakeFiles/fig04_area_overhead.dir/fig04_area_overhead.cc.o"
+  "CMakeFiles/fig04_area_overhead.dir/fig04_area_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_latency_overhead"
+  "../bench/fig05_latency_overhead.pdb"
+  "CMakeFiles/fig05_latency_overhead.dir/fig05_latency_overhead.cc.o"
+  "CMakeFiles/fig05_latency_overhead.dir/fig05_latency_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_latency_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_micro"
+  "../bench/fig17_micro.pdb"
+  "CMakeFiles/fig17_micro.dir/fig17_micro.cc.o"
+  "CMakeFiles/fig17_micro.dir/fig17_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

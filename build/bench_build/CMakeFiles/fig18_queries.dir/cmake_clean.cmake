@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_queries"
+  "../bench/fig18_queries.pdb"
+  "CMakeFiles/fig18_queries.dir/fig18_queries.cc.o"
+  "CMakeFiles/fig18_queries.dir/fig18_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

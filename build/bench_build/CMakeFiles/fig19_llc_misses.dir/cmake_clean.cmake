@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_llc_misses"
+  "../bench/fig19_llc_misses.pdb"
+  "CMakeFiles/fig19_llc_misses.dir/fig19_llc_misses.cc.o"
+  "CMakeFiles/fig19_llc_misses.dir/fig19_llc_misses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_llc_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

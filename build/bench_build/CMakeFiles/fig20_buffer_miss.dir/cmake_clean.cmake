@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_buffer_miss"
+  "../bench/fig20_buffer_miss.pdb"
+  "CMakeFiles/fig20_buffer_miss.dir/fig20_buffer_miss.cc.o"
+  "CMakeFiles/fig20_buffer_miss.dir/fig20_buffer_miss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_buffer_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_coherence"
+  "../bench/fig21_coherence.pdb"
+  "CMakeFiles/fig21_coherence.dir/fig21_coherence.cc.o"
+  "CMakeFiles/fig21_coherence.dir/fig21_coherence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_sensitivity"
+  "../bench/fig22_sensitivity.pdb"
+  "CMakeFiles/fig22_sensitivity.dir/fig22_sensitivity.cc.o"
+  "CMakeFiles/fig22_sensitivity.dir/fig22_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_group_caching"
+  "../bench/fig23_group_caching.pdb"
+  "CMakeFiles/fig23_group_caching.dir/fig23_group_caching.cc.o"
+  "CMakeFiles/fig23_group_caching.dir/fig23_group_caching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_group_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/simulator_throughput"
+  "../bench/simulator_throughput.pdb"
+  "CMakeFiles/simulator_throughput.dir/simulator_throughput.cc.o"
+  "CMakeFiles/simulator_throughput.dir/simulator_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_config"
+  "../bench/tab01_config.pdb"
+  "CMakeFiles/tab01_config.dir/tab01_config.cc.o"
+  "CMakeFiles/tab01_config.dir/tab01_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab02_queries.cc" "bench_build/CMakeFiles/tab02_queries.dir/tab02_queries.cc.o" "gcc" "bench_build/CMakeFiles/tab02_queries.dir/tab02_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcnvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rcnvm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/imdb/CMakeFiles/rcnvm_imdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rcnvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rcnvm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rcnvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/rcnvm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcnvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_queries"
+  "../bench/tab02_queries.pdb"
+  "CMakeFiles/tab02_queries.dir/tab02_queries.cc.o"
+  "CMakeFiles/tab02_queries.dir/tab02_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_caching_demo.dir/group_caching_demo.cc.o"
+  "CMakeFiles/group_caching_demo.dir/group_caching_demo.cc.o.d"
+  "group_caching_demo"
+  "group_caching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_caching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olxp_trading.dir/olxp_trading.cc.o"
+  "CMakeFiles/olxp_trading.dir/olxp_trading.cc.o.d"
+  "olxp_trading"
+  "olxp_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olxp_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for olxp_trading.
+# This may be replaced when dependencies are built.

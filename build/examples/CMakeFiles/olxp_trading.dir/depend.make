@@ -1,0 +1,2 @@
+# Empty dependencies file for olxp_trading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_cache.dir/cache.cc.o"
+  "CMakeFiles/rcnvm_cache.dir/cache.cc.o.d"
+  "CMakeFiles/rcnvm_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/rcnvm_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/rcnvm_cache.dir/synonym.cc.o"
+  "CMakeFiles/rcnvm_cache.dir/synonym.cc.o.d"
+  "librcnvm_cache.a"
+  "librcnvm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

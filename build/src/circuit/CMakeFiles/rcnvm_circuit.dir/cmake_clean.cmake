@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_circuit.dir/area_model.cc.o"
+  "CMakeFiles/rcnvm_circuit.dir/area_model.cc.o.d"
+  "CMakeFiles/rcnvm_circuit.dir/latency_model.cc.o"
+  "CMakeFiles/rcnvm_circuit.dir/latency_model.cc.o.d"
+  "librcnvm_circuit.a"
+  "librcnvm_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_core.dir/experiment.cc.o"
+  "CMakeFiles/rcnvm_core.dir/experiment.cc.o.d"
+  "CMakeFiles/rcnvm_core.dir/presets.cc.o"
+  "CMakeFiles/rcnvm_core.dir/presets.cc.o.d"
+  "CMakeFiles/rcnvm_core.dir/system.cc.o"
+  "CMakeFiles/rcnvm_core.dir/system.cc.o.d"
+  "librcnvm_core.a"
+  "librcnvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcnvm_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_cpu.dir/core.cc.o"
+  "CMakeFiles/rcnvm_cpu.dir/core.cc.o.d"
+  "CMakeFiles/rcnvm_cpu.dir/machine.cc.o"
+  "CMakeFiles/rcnvm_cpu.dir/machine.cc.o.d"
+  "librcnvm_cpu.a"
+  "librcnvm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

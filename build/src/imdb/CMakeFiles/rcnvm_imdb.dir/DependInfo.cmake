@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imdb/bin_packing.cc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/bin_packing.cc.o" "gcc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/bin_packing.cc.o.d"
+  "/root/repo/src/imdb/database.cc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/database.cc.o" "gcc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/database.cc.o.d"
+  "/root/repo/src/imdb/plan_builder.cc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/plan_builder.cc.o" "gcc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/plan_builder.cc.o.d"
+  "/root/repo/src/imdb/schema.cc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/schema.cc.o" "gcc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/schema.cc.o.d"
+  "/root/repo/src/imdb/table.cc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/table.cc.o" "gcc" "src/imdb/CMakeFiles/rcnvm_imdb.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcnvm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rcnvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rcnvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rcnvm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcnvm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

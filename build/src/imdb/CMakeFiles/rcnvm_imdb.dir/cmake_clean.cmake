@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_imdb.dir/bin_packing.cc.o"
+  "CMakeFiles/rcnvm_imdb.dir/bin_packing.cc.o.d"
+  "CMakeFiles/rcnvm_imdb.dir/database.cc.o"
+  "CMakeFiles/rcnvm_imdb.dir/database.cc.o.d"
+  "CMakeFiles/rcnvm_imdb.dir/plan_builder.cc.o"
+  "CMakeFiles/rcnvm_imdb.dir/plan_builder.cc.o.d"
+  "CMakeFiles/rcnvm_imdb.dir/schema.cc.o"
+  "CMakeFiles/rcnvm_imdb.dir/schema.cc.o.d"
+  "CMakeFiles/rcnvm_imdb.dir/table.cc.o"
+  "CMakeFiles/rcnvm_imdb.dir/table.cc.o.d"
+  "librcnvm_imdb.a"
+  "librcnvm_imdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_imdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_mem.dir/bank.cc.o"
+  "CMakeFiles/rcnvm_mem.dir/bank.cc.o.d"
+  "CMakeFiles/rcnvm_mem.dir/controller.cc.o"
+  "CMakeFiles/rcnvm_mem.dir/controller.cc.o.d"
+  "CMakeFiles/rcnvm_mem.dir/geometry.cc.o"
+  "CMakeFiles/rcnvm_mem.dir/geometry.cc.o.d"
+  "CMakeFiles/rcnvm_mem.dir/memory_system.cc.o"
+  "CMakeFiles/rcnvm_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/rcnvm_mem.dir/timing.cc.o"
+  "CMakeFiles/rcnvm_mem.dir/timing.cc.o.d"
+  "librcnvm_mem.a"
+  "librcnvm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/rcnvm_sim.dir/event_queue.cc.o.d"
+  "librcnvm_sim.a"
+  "librcnvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

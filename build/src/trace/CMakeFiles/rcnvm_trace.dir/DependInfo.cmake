@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/rcnvm_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/rcnvm_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcnvm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rcnvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rcnvm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rcnvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcnvm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_trace.dir/trace_io.cc.o"
+  "CMakeFiles/rcnvm_trace.dir/trace_io.cc.o.d"
+  "librcnvm_trace.a"
+  "librcnvm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_util.dir/logging.cc.o"
+  "CMakeFiles/rcnvm_util.dir/logging.cc.o.d"
+  "CMakeFiles/rcnvm_util.dir/random.cc.o"
+  "CMakeFiles/rcnvm_util.dir/random.cc.o.d"
+  "CMakeFiles/rcnvm_util.dir/stats.cc.o"
+  "CMakeFiles/rcnvm_util.dir/stats.cc.o.d"
+  "CMakeFiles/rcnvm_util.dir/table_printer.cc.o"
+  "CMakeFiles/rcnvm_util.dir/table_printer.cc.o.d"
+  "librcnvm_util.a"
+  "librcnvm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

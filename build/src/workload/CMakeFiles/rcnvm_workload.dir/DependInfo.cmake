@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/micro.cc" "src/workload/CMakeFiles/rcnvm_workload.dir/micro.cc.o" "gcc" "src/workload/CMakeFiles/rcnvm_workload.dir/micro.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/rcnvm_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/rcnvm_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/tables.cc" "src/workload/CMakeFiles/rcnvm_workload.dir/tables.cc.o" "gcc" "src/workload/CMakeFiles/rcnvm_workload.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imdb/CMakeFiles/rcnvm_imdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rcnvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rcnvm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rcnvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcnvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

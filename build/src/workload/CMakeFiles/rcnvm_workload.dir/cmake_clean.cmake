@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_workload.dir/micro.cc.o"
+  "CMakeFiles/rcnvm_workload.dir/micro.cc.o.d"
+  "CMakeFiles/rcnvm_workload.dir/queries.cc.o"
+  "CMakeFiles/rcnvm_workload.dir/queries.cc.o.d"
+  "CMakeFiles/rcnvm_workload.dir/tables.cc.o"
+  "CMakeFiles/rcnvm_workload.dir/tables.cc.o.d"
+  "librcnvm_workload.a"
+  "librcnvm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

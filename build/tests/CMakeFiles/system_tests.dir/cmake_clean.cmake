@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tests.dir/cpu_test.cc.o"
+  "CMakeFiles/system_tests.dir/cpu_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/database_test.cc.o"
+  "CMakeFiles/system_tests.dir/database_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/energy_salp_test.cc.o"
+  "CMakeFiles/system_tests.dir/energy_salp_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/hierarchy_test.cc.o"
+  "CMakeFiles/system_tests.dir/hierarchy_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/imdb_test.cc.o"
+  "CMakeFiles/system_tests.dir/imdb_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/plan_builder_test.cc.o"
+  "CMakeFiles/system_tests.dir/plan_builder_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/trace_test.cc.o"
+  "CMakeFiles/system_tests.dir/trace_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/workload_test.cc.o"
+  "CMakeFiles/system_tests.dir/workload_test.cc.o.d"
+  "system_tests"
+  "system_tests.pdb"
+  "system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/unit_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/circuit_test.cc" "tests/CMakeFiles/unit_tests.dir/circuit_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/circuit_test.cc.o.d"
+  "/root/repo/tests/mem_address_test.cc" "tests/CMakeFiles/unit_tests.dir/mem_address_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/mem_address_test.cc.o.d"
+  "/root/repo/tests/mem_bank_test.cc" "tests/CMakeFiles/unit_tests.dir/mem_bank_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/mem_bank_test.cc.o.d"
+  "/root/repo/tests/mem_controller_test.cc" "tests/CMakeFiles/unit_tests.dir/mem_controller_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/mem_controller_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/unit_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/unit_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/rcnvm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rcnvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rcnvm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcnvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_tests.dir/cache_test.cc.o"
+  "CMakeFiles/unit_tests.dir/cache_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/circuit_test.cc.o"
+  "CMakeFiles/unit_tests.dir/circuit_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/mem_address_test.cc.o"
+  "CMakeFiles/unit_tests.dir/mem_address_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/mem_bank_test.cc.o"
+  "CMakeFiles/unit_tests.dir/mem_bank_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/mem_controller_test.cc.o"
+  "CMakeFiles/unit_tests.dir/mem_controller_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/sim_test.cc.o"
+  "CMakeFiles/unit_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/util_test.cc.o"
+  "CMakeFiles/unit_tests.dir/util_test.cc.o.d"
+  "unit_tests"
+  "unit_tests.pdb"
+  "unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

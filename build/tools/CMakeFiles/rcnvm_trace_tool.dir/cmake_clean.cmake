@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcnvm_trace_tool.dir/rcnvm_trace.cc.o"
+  "CMakeFiles/rcnvm_trace_tool.dir/rcnvm_trace.cc.o.d"
+  "rcnvm_trace"
+  "rcnvm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcnvm_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
