@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <bit>
+
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -10,104 +12,12 @@ Cache::Cache(const CacheConfig &config)
 {
     if (!util::isPowerOfTwo(numSets_))
         rcnvm_fatal(config_.name, ": set count must be a power of two");
+    if (!util::isPowerOfTwo(config_.lineBytes))
+        rcnvm_fatal(config_.name, ": line size must be a power of two");
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.lineBytes));
+    setMask_ = numSets_ - 1;
     lines_.resize(std::size_t{numSets_} * config_.ways);
-}
-
-unsigned
-Cache::setIndex(const LineKey &key) const
-{
-    return static_cast<unsigned>((key.addr / config_.lineBytes) %
-                                 numSets_);
-}
-
-CacheLine *
-Cache::find(const LineKey &key)
-{
-    const unsigned set = setIndex(key);
-    CacheLine *base = &lines_[std::size_t{set} * config_.ways];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        CacheLine &line = base[w];
-        if (line.valid() && line.tag == key.addr &&
-            line.orient == key.orient) {
-            line.lru = ++lruClock_;
-            return &line;
-        }
-    }
-    return nullptr;
-}
-
-const CacheLine *
-Cache::probe(const LineKey &key) const
-{
-    const unsigned set = setIndex(key);
-    const CacheLine *base = &lines_[std::size_t{set} * config_.ways];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        const CacheLine &line = base[w];
-        if (line.valid() && line.tag == key.addr &&
-            line.orient == key.orient) {
-            return &line;
-        }
-    }
-    return nullptr;
-}
-
-std::optional<Cache::Victim>
-Cache::insert(const LineKey &key, MesiState state)
-{
-    const unsigned set = setIndex(key);
-    CacheLine *base = &lines_[std::size_t{set} * config_.ways];
-
-    // Reuse an existing entry or an invalid way when possible.
-    CacheLine *target = nullptr;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        CacheLine &line = base[w];
-        if (line.valid() && line.tag == key.addr &&
-            line.orient == key.orient) {
-            line.state = state;
-            line.lru = ++lruClock_;
-            return std::nullopt;
-        }
-        if (!line.valid() && !target)
-            target = &line;
-    }
-
-    std::optional<Victim> victim;
-    if (!target) {
-        // Evict the LRU non-pinned way; fall back to the LRU pinned
-        // way if the whole set is pinned (group over-subscription).
-        CacheLine *lru_unpinned = nullptr;
-        CacheLine *lru_any = nullptr;
-        for (unsigned w = 0; w < config_.ways; ++w) {
-            CacheLine &line = base[w];
-            if (!lru_any || line.lru < lru_any->lru)
-                lru_any = &line;
-            if (!line.pinned &&
-                (!lru_unpinned || line.lru < lru_unpinned->lru)) {
-                lru_unpinned = &line;
-            }
-        }
-        target = lru_unpinned ? lru_unpinned : lru_any;
-        if (!lru_unpinned)
-            ++pinnedEvictions_;
-
-        victim = Victim{target->key(), target->state, target->crossing};
-        if (target->orient == Orientation::Row)
-            --rowLines_;
-        else
-            --columnLines_;
-    }
-
-    target->tag = key.addr;
-    target->orient = key.orient;
-    target->state = state;
-    target->crossing = 0;
-    target->pinned = false;
-    target->lru = ++lruClock_;
-    if (key.orient == Orientation::Row)
-        ++rowLines_;
-    else
-        ++columnLines_;
-    return victim;
 }
 
 std::optional<Cache::Victim>
@@ -140,9 +50,15 @@ Cache::setPinned(const LineKey &key, bool pinned)
 void
 Cache::reset()
 {
-    for (auto &line : lines_)
-        line = CacheLine{};
-    lruClock_ = 0;
+    // O(1): advancing the generation orphans every line at once; the
+    // LRU clock keeps running so stale timestamps never resurface.
+    // A full sweep is only needed on the (practically unreachable)
+    // generation wrap-around.
+    if (++epoch_ == 0) {
+        for (auto &line : lines_)
+            line = CacheLine{};
+        lruClock_ = 0;
+    }
     rowLines_ = 0;
     columnLines_ = 0;
     pinnedEvictions_ = 0;

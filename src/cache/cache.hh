@@ -54,11 +54,58 @@ class Cache
     /** The configuration this cache was built with. */
     const CacheConfig &config() const { return config_; }
 
+    // find/probe/insert are defined inline below: the hierarchy runs
+    // several of them per simulated access, and the set scans are
+    // small enough that call overhead would dominate them.
+
+    /** Hint the host to pull this key's set into its cache. The tag
+     *  arrays are megabytes, so a set scan is usually a host-memory
+     *  miss; issuing the prefetch a few hundred instructions before
+     *  the scan hides most of that latency. */
+    void
+    prefetchSet(const LineKey &key) const
+    {
+        const auto *p = reinterpret_cast<const char *>(
+            &lines_[std::size_t{setIndex(key)} * config_.ways]);
+        // A set spans several host cache lines (16 ways x 24 bytes =
+        // six of them); prefetch the whole span, not just the first.
+        const std::size_t bytes = sizeof(CacheLine) * config_.ways;
+        for (std::size_t off = 0; off < bytes; off += 64)
+            __builtin_prefetch(p + off);
+    }
+
     /** Look up a line; returns nullptr on miss. Updates LRU on hit. */
-    CacheLine *find(const LineKey &key);
+    CacheLine *
+    find(const LineKey &key)
+    {
+        const unsigned set = setIndex(key);
+        CacheLine *base = &lines_[std::size_t{set} * config_.ways];
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            CacheLine &line = base[w];
+            if (live(line) && line.tag == key.addr &&
+                line.orient == key.orient) {
+                line.lru = ++lruClock_;
+                return &line;
+            }
+        }
+        return nullptr;
+    }
 
     /** Look up without disturbing replacement state. */
-    const CacheLine *probe(const LineKey &key) const;
+    const CacheLine *
+    probe(const LineKey &key) const
+    {
+        const unsigned set = setIndex(key);
+        const CacheLine *base = &lines_[std::size_t{set} * config_.ways];
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const CacheLine &line = base[w];
+            if (live(line) && line.tag == key.addr &&
+                line.orient == key.orient) {
+                return &line;
+            }
+        }
+        return nullptr;
+    }
 
     /**
      * Insert a line, evicting the LRU non-pinned way if the set is
@@ -67,7 +114,67 @@ class Cache
      *
      * @return the evicted victim, if any
      */
-    std::optional<Victim> insert(const LineKey &key, MesiState state);
+    std::optional<Victim>
+    insert(const LineKey &key, MesiState state)
+    {
+        const unsigned set = setIndex(key);
+        CacheLine *base = &lines_[std::size_t{set} * config_.ways];
+
+        // One pass: match the key, remember the first free way, and
+        // keep the LRU candidates ready in case the set is all live.
+        CacheLine *target = nullptr;
+        CacheLine *lru_unpinned = nullptr;
+        CacheLine *lru_any = nullptr;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            CacheLine &line = base[w];
+            if (live(line)) {
+                if (line.tag == key.addr &&
+                    line.orient == key.orient) {
+                    line.state = state;
+                    line.lru = ++lruClock_;
+                    return std::nullopt;
+                }
+                if (!lru_any || line.lru < lru_any->lru)
+                    lru_any = &line;
+                if (!line.pinned &&
+                    (!lru_unpinned || line.lru < lru_unpinned->lru)) {
+                    lru_unpinned = &line;
+                }
+            } else if (!target) {
+                target = &line;
+            }
+        }
+
+        std::optional<Victim> victim;
+        if (!target) {
+            // Evict the LRU non-pinned way; fall back to the LRU
+            // pinned way if the whole set is pinned (group
+            // over-subscription).
+            target = lru_unpinned ? lru_unpinned : lru_any;
+            if (!lru_unpinned)
+                ++pinnedEvictions_;
+
+            victim =
+                Victim{target->key(), target->state, target->crossing};
+            if (target->orient == Orientation::Row)
+                --rowLines_;
+            else
+                --columnLines_;
+        }
+
+        target->tag = key.addr;
+        target->orient = key.orient;
+        target->state = state;
+        target->crossing = 0;
+        target->pinned = false;
+        target->epoch = epoch_;
+        target->lru = ++lruClock_;
+        if (key.orient == Orientation::Row)
+            ++rowLines_;
+        else
+            ++columnLines_;
+        return victim;
+    }
 
     /** Remove a line if present; returns its pre-invalidation copy. */
     std::optional<Victim> invalidate(const LineKey &key);
@@ -95,11 +202,32 @@ class Cache
     void reset();
 
   private:
-    unsigned setIndex(const LineKey &key) const;
+    /** Shift/mask rather than divide/modulo: the constructor demands
+     *  power-of-two line size and set count, and two runtime integer
+     *  divisions here would otherwise lead every set scan. */
+    unsigned
+    setIndex(const LineKey &key) const
+    {
+        return static_cast<unsigned>((key.addr >> lineShift_) &
+                                     setMask_);
+    }
+
+    /** A line counts as present only when it carries the current
+     *  reset generation; reset() bumps the generation instead of
+     *  touching every entry of the (possibly megabyte-sized) array. */
+    bool
+    live(const CacheLine &line) const
+    {
+        return line.epoch == epoch_ &&
+               line.state != MesiState::Invalid;
+    }
 
     CacheConfig config_;
     std::uint32_t numSets_;
+    std::uint32_t lineShift_ = 0; //!< log2(lineBytes)
+    std::uint32_t setMask_ = 0;   //!< numSets - 1
     std::vector<CacheLine> lines_; //!< numSets_ x ways, row-major
+    std::uint32_t epoch_ = 0;      //!< current reset generation
     std::uint64_t lruClock_ = 0;
     std::uint64_t rowLines_ = 0;
     std::uint64_t columnLines_ = 0;

@@ -221,8 +221,7 @@ Hierarchy::coherenceOnWrite(unsigned core, const LineKey &key)
 }
 
 void
-Hierarchy::access(unsigned core, const CacheAccess &a,
-                  std::function<void(Tick)> done)
+Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
 {
     accesses_.inc();
 
@@ -238,7 +237,9 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
         const Tick path =
             config_.cpuPeriod * (config_.l1Latency + config_.l2Latency +
                                  config_.l3Latency);
-        req.onComplete = [done = std::move(done)](Tick t) { done(t); };
+        req.onComplete = [done = std::move(done)](Tick t) mutable {
+            done(t);
+        };
         eq_.scheduleAfter(path, [this, req = std::move(req)]() mutable {
             memory_.issue(std::move(req));
         });
@@ -248,6 +249,11 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
     const LineKey key{util::alignDown(a.addr, 64), a.orient};
     const unsigned word = static_cast<unsigned>((a.addr % 64) / 8);
 
+    // Warm the lower-level sets while the L1 scan runs; on the usual
+    // L1 miss their tag reads then hit the host's cache.
+    l2_[core]->prefetchSet(key);
+    l3_->prefetchSet(key);
+
     if (a.prefetchL3) {
         // Group-caching prefetch: install the line in the shared
         // LLC without disturbing the private caches, so the pinned
@@ -255,7 +261,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
         if (l3_->find(key)) {
             l3Hits_.inc();
             eq_.scheduleAfter(config_.cpuPeriod * config_.l3Latency,
-                              [done = std::move(done), this] {
+                              [done = std::move(done), this]() mutable {
                                   done(eq_.now());
                               });
             return;
@@ -265,11 +271,11 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
         req.addr = key.addr;
         req.orient = key.orient;
         req.onComplete = [this, key,
-                          done = std::move(done)](Tick) {
+                          done = std::move(done)](Tick) mutable {
             Cycles extra = 0;
             fillL3(key, MesiState::Exclusive, extra);
             eq_.scheduleAfter(config_.cpuPeriod * extra,
-                              [done = std::move(done), this] {
+                              [done = std::move(done), this]() mutable {
                                   done(eq_.now());
                               });
         };
@@ -298,7 +304,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
             lat += onWrite(core, key, word);
         }
         eq_.scheduleAfter(config_.cpuPeriod * lat,
-                          [done = std::move(done), this] {
+                          [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
         return;
@@ -325,7 +331,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
             }
         }
         eq_.scheduleAfter(config_.cpuPeriod * lat,
-                          [done = std::move(done), this] {
+                          [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
         return;
@@ -345,7 +351,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
         }
         fillPrivate(core, key, fill_state);
         eq_.scheduleAfter(config_.cpuPeriod * lat,
-                          [done = std::move(done), this] {
+                          [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
         return;
@@ -360,7 +366,12 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
 
     const bool is_write = a.isWrite;
     req.onComplete = [this, core, key, word, is_write,
-                      done = std::move(done)](Tick) {
+                      done = std::move(done)](Tick) mutable {
+        // The sets were last touched when the miss issued, thousands
+        // of simulated ticks ago; warm the private ones while the L3
+        // fill and synonym probe run.
+        l1_[core]->prefetchSet(key);
+        l2_[core]->prefetchSet(key);
         Cycles extra = 0;
         fillL3(key, is_write ? MesiState::Modified : MesiState::Exclusive,
                extra);
@@ -373,7 +384,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a,
                              : MesiState::Exclusive);
         const Tick fill = config_.cpuPeriod *
                           (config_.l1Latency + extra);
-        eq_.scheduleAfter(fill, [done = std::move(done), this] {
+        eq_.scheduleAfter(fill, [done = std::move(done), this]() mutable {
             done(eq_.now());
         });
     };

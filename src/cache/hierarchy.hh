@@ -14,7 +14,6 @@
 #ifndef RCNVM_CACHE_HIERARCHY_HH_
 #define RCNVM_CACHE_HIERARCHY_HH_
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "sim/event_queue.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
+#include "util/unique_function.hh"
 
 namespace rcnvm::cache {
 
@@ -71,12 +71,14 @@ class Hierarchy
     /** The configuration in use. */
     const HierarchyConfig &config() const { return config_; }
 
+    /** Completion continuation of one access (move-only). */
+    using DoneFn = util::UniqueFunction<void(Tick)>;
+
     /**
      * Perform one access for @p core. @p done is invoked exactly
      * once with the completion tick.
      */
-    void access(unsigned core, const CacheAccess &a,
-                std::function<void(Tick)> done);
+    void access(unsigned core, const CacheAccess &a, DoneFn done);
 
     /**
      * Pin or unpin every line of the given orientation overlapping

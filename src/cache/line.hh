@@ -53,6 +53,7 @@ struct CacheLine {
     MesiState state = MesiState::Invalid;
     std::uint8_t crossing = 0; //!< crossing bit per 8-byte word
     bool pinned = false;       //!< group-caching pin
+    std::uint32_t epoch = 0;   //!< owning cache's reset generation
     std::uint64_t lru = 0;     //!< LRU timestamp
 
     bool valid() const { return state != MesiState::Invalid; }

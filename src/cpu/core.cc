@@ -11,9 +11,10 @@ Core::Core(unsigned id, sim::EventQueue &eq,
 }
 
 void
-Core::start(AccessPlan plan, std::function<void(Tick)> on_finish)
+Core::start(const AccessPlan &plan,
+            util::UniqueFunction<void(Tick)> on_finish)
 {
-    plan_ = std::move(plan);
+    plan_ = &plan;
     onFinish_ = std::move(on_finish);
     pc_ = 0;
     outstanding_ = 0;
@@ -53,14 +54,14 @@ Core::advance()
     if (finished_)
         return;
 
-    while (pc_ < plan_.size()) {
+    while (pc_ < plan_->size()) {
         const Tick now = eq_.now();
         if (now < readyTick_) {
             scheduleAdvance(readyTick_);
             return;
         }
 
-        const MemOp &op = plan_[pc_];
+        const MemOp &op = (*plan_)[pc_];
         switch (op.kind) {
           case OpKind::Compute:
             readyTick_ = now + Tick{op.computeCycles} * cpuPeriod;
@@ -126,12 +127,12 @@ Core::advance()
 
     // The final operation may have been a Compute/Pin that set a
     // future ready time; the core is only done once it elapses.
-    if (pc_ >= plan_.size() && eq_.now() < readyTick_) {
+    if (pc_ >= plan_->size() && eq_.now() < readyTick_) {
         scheduleAdvance(readyTick_);
         return;
     }
 
-    if (pc_ >= plan_.size() && outstanding_ == 0 && !finished_) {
+    if (pc_ >= plan_->size() && outstanding_ == 0 && !finished_) {
         finished_ = true;
         finishTick_ = eq_.now();
         if (onFinish_)

@@ -7,7 +7,7 @@
 #ifndef RCNVM_CPU_CORE_HH_
 #define RCNVM_CPU_CORE_HH_
 
-#include <functional>
+#include "util/unique_function.hh"
 
 #include "cache/hierarchy.hh"
 #include "cpu/mem_op.hh"
@@ -38,8 +38,11 @@ class Core
     Core(unsigned id, sim::EventQueue &eq,
          cache::Hierarchy &hierarchy, unsigned window = 8);
 
-    /** Begin replaying @p plan; @p on_finish fires when done. */
-    void start(AccessPlan plan, std::function<void(Tick)> on_finish);
+    /** Begin replaying @p plan; @p on_finish fires when done.
+     *  The plan is borrowed, not copied: the caller must keep it
+     *  alive until the run completes. */
+    void start(const AccessPlan &plan,
+               util::UniqueFunction<void(Tick)> on_finish);
 
     /** True when the whole plan has completed. */
     bool finished() const { return finished_; }
@@ -63,7 +66,7 @@ class Core
     cache::Hierarchy &hierarchy_;
     unsigned window_;
 
-    AccessPlan plan_;
+    const AccessPlan *plan_ = nullptr; //!< borrowed from start()
     std::size_t pc_ = 0;
     unsigned outstanding_ = 0;
     Tick readyTick_ = 0;
@@ -73,7 +76,7 @@ class Core
     bool finished_ = true;
     Tick finishTick_ = 0;
     Tick stallStart_ = 0;
-    std::function<void(Tick)> onFinish_;
+    util::UniqueFunction<void(Tick)> onFinish_;
 
     util::Counter memOps_;
     util::Counter stallTicks_;

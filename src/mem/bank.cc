@@ -28,11 +28,50 @@ Bank::bufferFor(unsigned subarray) const
 bool
 Bank::hits(Orientation orient, unsigned subarray, unsigned index) const
 {
-    const Buffer &buf = bufferFor(subarray);
+    return classify(bufferFor(subarray), orient, subarray, index) ==
+           AccessOutcome::BufferHit;
+}
+
+AccessOutcome
+Bank::classify(const Buffer &buf, Orientation orient, unsigned subarray,
+               unsigned index)
+{
     const BufState want = orient == Orientation::Row ? BufState::RowOpen
                                                      : BufState::ColOpen;
-    return buf.state == want && buf.subarray == subarray &&
-           buf.index == index;
+    if (buf.state == want && buf.subarray == subarray &&
+        buf.index == index)
+        return AccessOutcome::BufferHit;
+    if (buf.state == BufState::Closed)
+        return AccessOutcome::BufferMiss;
+    if (buf.state == want)
+        return AccessOutcome::BufferConflict;
+    return AccessOutcome::OrientationSwitch;
+}
+
+Bank::Lookahead
+Bank::lookahead(Orientation orient, unsigned subarray, unsigned index,
+                const TimingParams &t) const
+{
+    const Buffer &buf = bufferFor(subarray);
+    Lookahead la;
+    la.cmdReady = nextReady_;
+    la.lead = t.cyc(t.tCAS);
+    switch (classify(buf, orient, subarray, index)) {
+      case AccessOutcome::BufferHit:
+        la.hit = true;
+        break;
+      case AccessOutcome::BufferMiss:
+        la.lead += t.cyc(t.tRCD);
+        break;
+      case AccessOutcome::BufferConflict:
+      case AccessOutcome::OrientationSwitch:
+        la.cmdReady = std::max(la.cmdReady,
+                               buf.lastActivate + t.cyc(t.tRAS));
+        la.lead += (buf.dirty ? t.cyc(t.tWR) : 0) + t.cyc(t.tRP) +
+                   t.cyc(t.tRCD);
+        break;
+    }
+    return la;
 }
 
 Bank::Service
@@ -49,19 +88,9 @@ Bank::access(Tick now, Orientation orient, unsigned subarray,
     const BufState want = orient == Orientation::Row ? BufState::RowOpen
                                                      : BufState::ColOpen;
 
-    if (buf.state == want && buf.subarray == subarray &&
-        buf.index == index) {
-        s.outcome = AccessOutcome::BufferHit;
-    } else if (buf.state == BufState::Closed) {
-        s.outcome = AccessOutcome::BufferMiss;
-    } else if (buf.state == want) {
-        s.outcome = AccessOutcome::BufferConflict;
-    } else {
-        // The other-orientation buffer is active: the paper's
-        // row/column switch, which closes and flushes the active
-        // buffer before the new activate (Sec. 3).
-        s.outcome = AccessOutcome::OrientationSwitch;
-    }
+    // Conflict/switch is the paper's row/column switch, which closes
+    // and flushes the active buffer before the new activate (Sec. 3).
+    s.outcome = classify(buf, orient, subarray, index);
 
     if (s.outcome == AccessOutcome::BufferConflict ||
         s.outcome == AccessOutcome::OrientationSwitch) {

@@ -91,6 +91,24 @@ class Bank
               unsigned index) const;
 
     /**
+     * Scheduler preview of how a request would be served right now,
+     * without mutating any state. `cmdReady` is the earliest tick the
+     * command sequence could start (bank busy plus, for buffer
+     * closes, the tRAS bound); `lead` is the fixed delay from command
+     * start to the data burst (flush + precharge + activate + CAS as
+     * applicable). For any start >= cmdReady, access() at that start
+     * begins its burst exactly at start + lead, so the controller can
+     * place bursts against the shared bus without issuing early.
+     */
+    struct Lookahead {
+        Tick cmdReady = 0; //!< earliest command start
+        Tick lead = 0;     //!< command start to data-burst start
+        bool hit = false;  //!< would be a buffer hit
+    };
+    Lookahead lookahead(Orientation orient, unsigned subarray,
+                        unsigned index, const TimingParams &t) const;
+
+    /**
      * Serve one access, updating buffer and timing state.
      *
      * @param now       current tick (command may start later if the
@@ -124,6 +142,10 @@ class Bank
     /** The buffer responsible for @p subarray. */
     Buffer &bufferFor(unsigned subarray);
     const Buffer &bufferFor(unsigned subarray) const;
+
+    /** Outcome a request would see against @p buf right now. */
+    static AccessOutcome classify(const Buffer &buf, Orientation orient,
+                                  unsigned subarray, unsigned index);
 
     std::vector<Buffer> buffers_; //!< one, or one per subarray (SALP)
     Tick nextReady_ = 0;

@@ -6,6 +6,11 @@
 
 namespace rcnvm::mem {
 
+namespace {
+constexpr std::uint64_t noSeq = std::numeric_limits<std::uint64_t>::max();
+constexpr Tick noTick = std::numeric_limits<Tick>::max();
+} // namespace
+
 ChannelController::ChannelController(const AddressMap &map,
                                      const TimingParams &timing,
                                      sim::EventQueue &eq,
@@ -14,11 +19,16 @@ ChannelController::ChannelController(const AddressMap &map,
     : map_(map),
       timing_(timing),
       eq_(eq),
-      capacity_(queue_capacity)
+      capacity_(queue_capacity),
+      statsSince_(eq.now())
 {
     const Geometry &g = map_.geometry();
     banks_.assign(g.ranksPerChannel * g.banksPerRank,
                   Bank(salp ? g.subarraysPerBank : 0));
+    // Constructed rather than resized: Pending is move-only, so the
+    // vector must never instantiate a copying relocation path.
+    bankQueues_ = std::vector<BankQueue>(banks_.size());
+    activeBanks_.reserve(banks_.size());
 }
 
 unsigned
@@ -34,16 +44,33 @@ ChannelController::bufferIndex(const DecodedAddr &d, Orientation o)
 }
 
 void
-ChannelController::enqueue(MemRequest req)
+ChannelController::enqueue(MemRequest &&req)
 {
     // The capacity is a soft cap: demand traffic respects
     // canAccept(), while write-backs may transiently overshoot so
     // evictions never deadlock the hierarchy.
-    Pending p;
-    p.dec = map_.decode(req.addr, req.orient);
+    const DecodedAddr dec = map_.decode(req.addr, req.orient);
+    const unsigned b = bankIndex(dec);
+    BankQueue &bq = bankQueues_[b];
+
+    // Built in place: the request's completion continuation is bulky
+    // enough that every avoided move shows up in profiles.
+    Pending &p = bq.fifo.emplace_back();
+    p.dec = dec;
     p.req = std::move(req);
     p.enqueueTick = eq_.now();
-    queue_.push_back(std::move(p));
+    p.seq = nextSeq_++;
+    p.bufferIdx = bufferIndex(p.dec, p.req.orient);
+
+    if (bq.hitPos < 0 &&
+        banks_[b].hits(p.req.orient, p.dec.subarray, p.bufferIdx))
+        bq.hitPos = static_cast<std::ptrdiff_t>(bq.fifo.size()) - 1;
+    stats_.bankQueueDepth.sample(static_cast<double>(bq.fifo.size()));
+    if (!bq.active) {
+        bq.active = true;
+        activeBanks_.push_back(b);
+    }
+    ++totalQueued_;
     trySchedule();
 }
 
@@ -54,26 +81,54 @@ ChannelController::scheduleWakeup(Tick when)
         return;
     wakeupScheduled_ = true;
     wakeupAt_ = when;
-    eq_.schedule(when, [this, when] {
-        if (wakeupScheduled_ && wakeupAt_ == when) {
-            wakeupScheduled_ = false;
-            trySchedule();
-        }
+    const std::uint64_t gen = ++wakeupGen_;
+    eq_.schedule(when, [this, gen] {
+        if (wakeupGen_ != gen)
+            return; // superseded by a newer wakeup or a reset
+        wakeupScheduled_ = false;
+        stats_.wakeups.inc();
+        trySchedule();
     });
 }
 
 void
-ChannelController::issueAt(std::size_t pos)
+ChannelController::cancelWakeup()
 {
-    Pending p = std::move(queue_[pos]);
-    queue_.erase(queue_.begin() +
-                 static_cast<std::ptrdiff_t>(pos));
+    if (wakeupScheduled_) {
+        wakeupScheduled_ = false;
+        ++wakeupGen_;
+    }
+}
 
-    Bank &bank = banks_[bankIndex(p.dec)];
-    const unsigned index = bufferIndex(p.dec, p.req.orient);
+void
+ChannelController::refreshHitPos(BankQueue &bq, const Bank &bank) const
+{
+    bq.hitPos = -1;
+    for (std::size_t i = 0; i < bq.fifo.size(); ++i) {
+        const Pending &p = bq.fifo[i];
+        if (bank.hits(p.req.orient, p.dec.subarray, p.bufferIdx)) {
+            bq.hitPos = static_cast<std::ptrdiff_t>(i);
+            return;
+        }
+    }
+}
+
+void
+ChannelController::issueFrom(unsigned b, std::size_t pos)
+{
+    BankQueue &bq = bankQueues_[b];
+    Pending p = std::move(bq.fifo[pos]);
+    if (pos == 0)
+        bq.fifo.pop_front();
+    else
+        bq.fifo.erase(bq.fifo.begin() +
+                      static_cast<std::ptrdiff_t>(pos));
+    --totalQueued_;
+
+    Bank &bank = banks_[b];
     Bank::Service s =
-        bank.access(eq_.now(), p.req.orient, p.dec.subarray, index,
-                    p.req.isWrite, timing_, busFree_);
+        bank.access(eq_.now(), p.req.orient, p.dec.subarray,
+                    p.bufferIdx, p.req.isWrite, timing_, busFree_);
 
     // A gathered line's words come from shuffled column positions
     // across the chips; pattern translation and chip-conflict
@@ -84,6 +139,9 @@ ChannelController::issueAt(std::size_t pos)
         s.finish += timing_.cyc(timing_.tBURST);
 
     busFree_ = s.finish;
+
+    // The buffer the bank holds open may have changed.
+    refreshHitPos(bq, bank);
 
     // Statistics.
     (p.req.isWrite ? stats_.writes : stats_.reads).inc();
@@ -114,7 +172,9 @@ ChannelController::issueAt(std::size_t pos)
         static_cast<double>(s.start - p.enqueueTick));
     stats_.serviceTicks.sample(
         static_cast<double>(s.finish - s.start));
-    stats_.busBusyTicks.inc(timing_.cyc(timing_.tBURST));
+    // A gathered transfer holds the bus for two burst slots.
+    stats_.busBusyTicks.inc(timing_.cyc(timing_.tBURST) *
+                            (p.req.gathered ? 2u : 1u));
 
     // Energy accounting (extension): activations, bursts, and cell
     // write pulses for dirty-buffer flushes.
@@ -128,11 +188,10 @@ ChannelController::issueAt(std::size_t pos)
         stats_.energyPJ += timing_.eReadBurst; // second burst slot
 
     if (p.req.onComplete) {
-        auto cb = std::move(p.req.onComplete);
-        eq_.schedule(s.finish,
-                     [cb = std::move(cb), finish = s.finish] {
-                         cb(finish);
-                     });
+        eq_.schedule(s.finish, [cb = std::move(p.req.onComplete),
+                                finish = s.finish]() mutable {
+            cb(finish);
+        });
     }
 }
 
@@ -140,63 +199,134 @@ void
 ChannelController::trySchedule()
 {
     for (;;) {
-        if (queue_.empty())
+        if (totalQueued_ == 0) {
+            cancelWakeup();
             return;
+        }
 
         const Tick now = eq_.now();
-        std::size_t pick = queue_.size();
-        bool pick_is_hit = false;
-        Tick earliest_busy = std::numeric_limits<Tick>::max();
 
-        // The oldest request may veto younger buffer hits once it
-        // has been bypassed too often (starvation control).
-        const bool oldest_forced =
-            queue_.front().bypassed >= starvationCap;
+        // One pass over the banks that have work: find the oldest
+        // ready buffer hit, the oldest ready request, the globally
+        // oldest request (for starvation control), and the earliest
+        // tick anything becomes ready.
+        std::uint64_t bestHitSeq = noSeq, bestAnySeq = noSeq;
+        unsigned bestHitBank = 0, bestAnyBank = 0;
+        std::size_t bestHitPos = 0;
+        std::uint64_t headSeq = noSeq;
+        Pending *head = nullptr;
+        Tick headReadyAt = noTick;
+        Tick nextWake = noTick;
 
-        for (std::size_t i = 0; i < queue_.size(); ++i) {
-            const Pending &p = queue_[i];
-            const Bank &bank = banks_[bankIndex(p.dec)];
-            if (bank.nextReady() > now) {
-                earliest_busy =
-                    std::min(earliest_busy, bank.nextReady());
+        for (std::size_t i = 0; i < activeBanks_.size();) {
+            const unsigned b = activeBanks_[i];
+            BankQueue &bq = bankQueues_[b];
+            if (bq.fifo.empty()) {
+                bq.active = false;
+                activeBanks_[i] = activeBanks_.back();
+                activeBanks_.pop_back();
                 continue;
             }
-            const bool is_hit =
-                bank.hits(p.req.orient, p.dec.subarray,
-                          bufferIndex(p.dec, p.req.orient));
-            if (is_hit && !oldest_forced) {
-                pick = i;
-                pick_is_hit = true;
-                break; // oldest ready buffer hit wins
+            const Bank &bank = banks_[b];
+
+            // Within a bank requests are FIFO except for buffer
+            // hits, so the front plus the oldest cached hit are the
+            // only candidates this bank can contribute.
+            Pending &front = bq.fifo.front();
+            const Bank::Lookahead la = bank.lookahead(
+                front.req.orient, front.dec.subarray, front.bufferIdx,
+                timing_);
+            const Tick readyAt =
+                std::max(la.cmdReady, busReadyAt(la.lead));
+            if (front.seq < headSeq) {
+                headSeq = front.seq;
+                head = &front;
+                headReadyAt = readyAt;
             }
-            if (pick == queue_.size())
-                pick = i; // remember oldest ready request
-            if (oldest_forced && i == 0)
-                break; // serve the starving head immediately
+            if (readyAt <= now) {
+                if (front.seq < bestAnySeq) {
+                    bestAnySeq = front.seq;
+                    bestAnyBank = b;
+                }
+                if (la.hit && front.seq < bestHitSeq) {
+                    bestHitSeq = front.seq;
+                    bestHitBank = b;
+                    bestHitPos = 0;
+                }
+            } else if (readyAt < nextWake) {
+                nextWake = readyAt;
+            }
+
+            if (bq.hitPos > 0) {
+                const Pending &h =
+                    bq.fifo[static_cast<std::size_t>(bq.hitPos)];
+                const Tick hitReady =
+                    std::max(bank.nextReady(),
+                             busReadyAt(timing_.cyc(timing_.tCAS)));
+                if (hitReady <= now) {
+                    if (h.seq < bestHitSeq) {
+                        bestHitSeq = h.seq;
+                        bestHitBank = b;
+                        bestHitPos =
+                            static_cast<std::size_t>(bq.hitPos);
+                    }
+                } else if (hitReady < nextWake) {
+                    nextWake = hitReady;
+                }
+            }
+            ++i;
         }
 
-        if (pick == queue_.size()) {
-            // Nothing ready: wake up when the first bank frees up.
-            if (earliest_busy != std::numeric_limits<Tick>::max())
-                scheduleWakeup(earliest_busy);
+        // Starvation control: once the globally oldest request has
+        // been bypassed by ANY younger request too often, nothing
+        // else may issue until it has been served.
+        if (head->bypassed >= starvationCap) {
+            if (headReadyAt <= now) {
+                issueFrom(bankIndex(head->dec), 0);
+                continue;
+            }
+            scheduleWakeup(headReadyAt);
             return;
         }
 
-        if (pick_is_hit && pick != 0)
-            ++queue_.front().bypassed;
+        unsigned pickBank;
+        std::size_t pickPos;
+        std::uint64_t pickSeq;
+        if (bestHitSeq != noSeq) {
+            pickBank = bestHitBank;
+            pickPos = bestHitPos;
+            pickSeq = bestHitSeq;
+        } else if (bestAnySeq != noSeq) {
+            pickBank = bestAnyBank;
+            pickPos = 0;
+            pickSeq = bestAnySeq;
+        } else {
+            if (nextWake != noTick)
+                scheduleWakeup(nextWake);
+            return;
+        }
 
-        issueAt(pick);
+        if (pickSeq != headSeq)
+            ++head->bypassed;
+        issueFrom(pickBank, pickPos);
     }
 }
 
 void
 ChannelController::reset()
 {
-    queue_.clear();
+    for (auto &bq : bankQueues_) {
+        bq.fifo.clear();
+        bq.hitPos = -1;
+        bq.active = false;
+    }
+    activeBanks_.clear();
+    totalQueued_ = 0;
     for (auto &bank : banks_)
         bank.reset();
     busFree_ = 0;
-    wakeupScheduled_ = false;
+    cancelWakeup();
+    statsSince_ = eq_.now();
     stats_ = ControllerStats{};
 }
 

@@ -7,6 +7,7 @@
 #ifndef RCNVM_MEM_CONTROLLER_HH_
 #define RCNVM_MEM_CONTROLLER_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -39,18 +40,24 @@ struct ControllerStats {
     util::Counter colBufferMisses;
     util::Sampled queueWaitTicks;
     util::Sampled serviceTicks;
-    util::Counter busBusyTicks;
-    double energyPJ = 0.0; //!< accumulated device energy
+    util::Sampled bankQueueDepth; //!< target bank's depth at enqueue
+    util::Counter busBusyTicks;   //!< bus slots consumed (2x gathered)
+    util::Counter wakeups;        //!< scheduler wakeup events that ran
+    double energyPJ = 0.0;        //!< accumulated device energy
 };
 
 /**
- * One channel: a request queue, the channel's banks, and the shared
- * data bus. Requests complete asynchronously via their callbacks.
+ * One channel: per-bank request queues, the channel's banks, and the
+ * shared data bus. Requests complete asynchronously via callbacks.
  *
  * FR-FCFS: the oldest request that hits an open buffer on a ready
- * bank is served first; otherwise the oldest request whose bank is
- * ready. A starvation cap bounds how many times a younger buffer
- * hit may bypass the oldest request.
+ * bank is served first; otherwise the oldest ready request. A
+ * request is ready only when its bank can start the command AND the
+ * shared bus will be free by the time its data burst begins, so bus
+ * slots are granted in scheduling order rather than being committed
+ * queue-deep in advance (gathered GS-DRAM lines occupy two slots). A
+ * starvation cap bounds how many times the globally oldest request
+ * may be bypassed by any younger request.
  */
 class ChannelController
 {
@@ -68,16 +75,19 @@ class ChannelController
                       bool salp = false);
 
     /** True when the request queue has room. */
-    bool canAccept() const { return queue_.size() < capacity_; }
+    bool canAccept() const { return totalQueued_ < capacity_; }
 
     /** Add a request (caller must have checked canAccept). */
-    void enqueue(MemRequest req);
+    void enqueue(MemRequest &&req);
 
     /** Number of queued (not yet issued) requests. */
-    std::size_t queued() const { return queue_.size(); }
+    std::size_t queued() const { return totalQueued_; }
 
     /** Controller statistics. */
     const ControllerStats &stats() const { return stats_; }
+
+    /** Ticks covered by the current statistics window. */
+    Tick statsElapsed() const { return eq_.now() - statsSince_; }
 
     /** Clear statistics and bank state. */
     void reset();
@@ -87,7 +97,19 @@ class ChannelController
         MemRequest req;
         DecodedAddr dec;
         Tick enqueueTick;
+        std::uint64_t seq;    //!< global arrival order
+        unsigned bufferIdx;   //!< row (row orient) or column index
         unsigned bypassed = 0;
+    };
+
+    /** Pending requests of one bank, in arrival order. */
+    struct BankQueue {
+        std::deque<Pending> fifo;
+        /** Position of the oldest open-buffer hit, or -1. Valid
+         *  against the bank's current buffer state; recomputed after
+         *  every issue from this bank. */
+        std::ptrdiff_t hitPos = -1;
+        bool active = false; //!< listed in activeBanks_
     };
 
     /** Flat bank index for a decoded address. */
@@ -102,21 +124,46 @@ class ChannelController
     /** Arrange a future trySchedule call at @p when. */
     void scheduleWakeup(Tick when);
 
-    /** Serve the queue entry at @p pos. */
-    void issueAt(std::size_t pos);
+    /** Drop any armed wakeup (nothing left to schedule). */
+    void cancelWakeup();
+
+    /** Serve entry @p pos of bank @p bank's queue. */
+    void issueFrom(unsigned bank, std::size_t pos);
+
+    /** Recompute @p bq's oldest-hit cache against @p bank. */
+    void refreshHitPos(BankQueue &bq, const Bank &bank) const;
+
+    /** Earliest tick a request with burst lead @p lead may issue so
+     *  its burst queues at most busHorizon() deep behind the bus.
+     *  Requests whose command chain is longer than the horizon issue
+     *  early enough that bank preparation overlaps the backlog. */
+    Tick busReadyAt(Tick lead) const
+    {
+        const Tick slack = std::max(lead, busHorizon());
+        return busFree_ > slack ? busFree_ - slack : 0;
+    }
+
+    /** How far ahead of the bus a request may be issued: two
+     *  gathered transfers (each two burst slots) of backlog. */
+    Tick busHorizon() const { return 4 * timing_.cyc(timing_.tBURST); }
 
     const AddressMap &map_;
     TimingParams timing_;
     sim::EventQueue &eq_;
     unsigned capacity_;
-    std::deque<Pending> queue_;
     std::vector<Bank> banks_;
+    std::vector<BankQueue> bankQueues_;
+    std::vector<unsigned> activeBanks_; //!< banks with pending work
+    std::size_t totalQueued_ = 0;
+    std::uint64_t nextSeq_ = 0;
     Tick busFree_ = 0;
     Tick wakeupAt_ = 0;
     bool wakeupScheduled_ = false;
+    std::uint64_t wakeupGen_ = 0; //!< cancels superseded wakeups
+    Tick statsSince_ = 0;
     ControllerStats stats_;
 
-    /** Max buffer-hit bypasses of the oldest request. */
+    /** Max bypasses of the globally oldest request. */
     static constexpr unsigned starvationCap = 16;
 };
 

@@ -45,7 +45,7 @@ MemorySystem::canAccept(Addr addr, Orientation orient) const
 }
 
 void
-MemorySystem::issue(MemRequest req)
+MemorySystem::issue(MemRequest &&req)
 {
     if (req.orient == Orientation::Column && !caps_.columnAccess) {
         rcnvm_panic("column-oriented request issued to ",
@@ -63,8 +63,8 @@ util::StatsMap
 MemorySystem::stats() const
 {
     util::StatsMap out;
-    double wait_sum = 0, wait_count = 0;
-    double service_sum = 0, service_count = 0;
+    util::Sampled wait, service, bank_depth;
+    double elapsed = 0;
     for (const auto &ch : channels_) {
         const ControllerStats &s = ch->stats();
         out.add("mem.reads", static_cast<double>(s.reads.value()));
@@ -93,18 +93,24 @@ MemorySystem::stats() const
                 static_cast<double>(s.colBufferMisses.value()));
         out.add("mem.busBusyTicks",
                 static_cast<double>(s.busBusyTicks.value()));
+        out.add("mem.wakeups",
+                static_cast<double>(s.wakeups.value()));
         out.add("mem.energyPJ", s.energyPJ);
-        wait_sum += s.queueWaitTicks.sum();
-        wait_count += static_cast<double>(s.queueWaitTicks.count());
-        service_sum += s.serviceTicks.sum();
-        service_count += static_cast<double>(s.serviceTicks.count());
+        wait.merge(s.queueWaitTicks);
+        service.merge(s.serviceTicks);
+        bank_depth.merge(s.bankQueueDepth);
+        elapsed += static_cast<double>(ch->statsElapsed());
     }
     out.set("mem.requests",
             out.get("mem.reads") + out.get("mem.writes"));
-    out.set("mem.avgQueueWaitTicks",
-            wait_count > 0 ? wait_sum / wait_count : 0.0);
-    out.set("mem.avgServiceTicks",
-            service_count > 0 ? service_sum / service_count : 0.0);
+    out.set("mem.avgQueueWaitTicks", wait.mean());
+    out.set("mem.avgServiceTicks", service.mean());
+    out.set("mem.avgBankQueueDepth", bank_depth.mean());
+    out.set("mem.maxBankQueueDepth", bank_depth.max());
+    // Fraction of the statistics window the channel data buses spent
+    // transferring (gathered lines hold the bus for two slots).
+    out.set("mem.busUtilization",
+            elapsed > 0 ? out.get("mem.busBusyTicks") / elapsed : 0.0);
     const double hits = out.get("mem.bufferHits");
     const double total = out.get("mem.requests");
     out.set("mem.bufferMissRate",

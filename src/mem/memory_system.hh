@@ -53,7 +53,7 @@ class MemorySystem
      * panic on devices without column access (the compiler must not
      * emit them).
      */
-    void issue(MemRequest req);
+    void issue(MemRequest &&req);
 
     /** Aggregate statistics over all channels. */
     util::StatsMap stats() const;

@@ -8,9 +8,9 @@
 #define RCNVM_MEM_REQUEST_HH_
 
 #include <cstdint>
-#include <functional>
 
 #include "util/types.hh"
+#include "util/unique_function.hh"
 
 namespace rcnvm::mem {
 
@@ -28,8 +28,12 @@ struct MemRequest {
     bool gathered = false;
 
     /** Invoked exactly once with the completion tick. May be empty
-     *  for fire-and-forget write-backs. */
-    std::function<void(Tick)> onComplete;
+     *  for fire-and-forget write-backs. Move-only: a request owns
+     *  its continuation, so completion handlers are never copied.
+     *  The widened inline capacity fits the cache hierarchy's miss
+     *  continuation (a moved-in DoneFn plus the line key, 112 bytes
+     *  with padding) without a heap allocation per miss. */
+    util::UniqueFunction<void(Tick), 112> onComplete;
 };
 
 } // namespace rcnvm::mem

@@ -10,29 +10,65 @@
 #ifndef RCNVM_SIM_EVENT_QUEUE_HH_
 #define RCNVM_SIM_EVENT_QUEUE_HH_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/types.hh"
+#include "util/unique_function.hh"
 
 namespace rcnvm::sim {
+
+/** Move-only inline-storage callable used for event callbacks.
+ *  The widened inline capacity fits the largest hot-path capture (a
+ *  moved-in MemRequest carrying its completion continuation), so
+ *  scheduling an event never allocates. */
+using UniqueFunction = util::UniqueFunction<void(), 160>;
 
 /**
  * A deterministic tick-ordered event queue.
  *
  * Events are arbitrary callables. The queue owns no component state;
- * everything interesting happens inside the callbacks.
+ * everything interesting happens inside the callbacks. Internally a
+ * heap of small POD entries ordering (tick, seq); the callbacks
+ * themselves live in a slab indexed by the entries, so heap sifts
+ * move 24 bytes instead of relocating whole captures.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = UniqueFunction;
+
+    EventQueue()
+    {
+        heap_.reserve(64);
+        slab_.reserve(64);
+        free_.reserve(64);
+    }
 
     /** Schedule @p cb to run at absolute tick @p when.
-     *  @pre when >= now() */
-    void schedule(Tick when, Callback cb);
+     *  @pre when >= now()
+     *  Defined inline: this runs several times per simulated access,
+     *  and inlining lets callers materialise the callback directly
+     *  in the slab slot. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < now_)
+            panicPastEvent(when);
+        std::uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+            slab_[slot] = std::move(cb);
+        } else {
+            slot = static_cast<std::uint32_t>(slab_.size());
+            slab_.push_back(std::move(cb));
+        }
+        pushEntry(Entry{when, nextSeq_++, slot});
+    }
 
     /** Schedule @p cb to run @p delay ticks from now. */
     void scheduleAfter(Tick delay, Callback cb)
@@ -52,27 +88,59 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
+    /** Heap arity: a 4-ary heap halves the sift depth of a binary
+     *  one and its four-child scans stay within one cache line of
+     *  24-byte entries, which measurably speeds up the simulator's
+     *  hottest loop. */
+    static constexpr std::size_t kHeapArity = 4;
+
     /** Total number of events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
   private:
+    /** Out-of-line cold path of schedule()'s precondition check. */
+    [[noreturn]] void panicPastEvent(Tick when) const;
+
     struct Entry {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+    /** Strict ordering of the min-heap: tick, then insertion order. */
+    static bool
+    earlier(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    /** Sift @p e up into the 4-ary min-heap. */
+    void
+    pushEntry(Entry e)
+    {
+        std::size_t i = heap_.size();
+        heap_.push_back(e);
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / kHeapArity;
+            if (!earlier(e, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
         }
-    };
+        heap_[i] = e;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Remove and return the earliest entry of the 4-ary min-heap. */
+    Entry popTop();
+
+    /** Take the callback for @p slot and recycle the slot. */
+    Callback takeSlot(std::uint32_t slot);
+
+    std::vector<Entry> heap_;
+    std::vector<Callback> slab_;       //!< parked callbacks
+    std::vector<std::uint32_t> free_;  //!< recycled slab slots
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -3,6 +3,19 @@
 namespace rcnvm::util {
 
 void
+Sampled::merge(const Sampled &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_)
+        max_ = other.max_;
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+void
 StatsMap::set(const std::string &name, double value)
 {
     entries_[name] = value;

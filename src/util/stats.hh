@@ -53,6 +53,10 @@ class Sampled
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /** Fold another sample set into this one (aggregation across
+     *  per-channel statistics). */
+    void merge(const Sampled &other);
+
     /** Discard all samples. */
     void
     reset()

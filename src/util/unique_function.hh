@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A move-only callable wrapper with inline storage.
+ *
+ * Simulation callbacks (events, memory-completion handlers, cache
+ * fill continuations) are created and destroyed once per simulated
+ * command, so their allocation cost dominates the simulator's own
+ * hot path. Unlike std::function (16-byte small-object buffer in
+ * libstdc++, copyable, heap fallback for almost every capturing
+ * lambda in this codebase), this wrapper keeps captures up to
+ * kInlineBytes inline and never allocates for them; larger callables
+ * fall back to the heap but stay move-only.
+ */
+
+#ifndef RCNVM_UTIL_UNIQUE_FUNCTION_HH_
+#define RCNVM_UTIL_UNIQUE_FUNCTION_HH_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rcnvm::util {
+
+/** Default inline capture capacity in bytes. */
+inline constexpr std::size_t kUniqueFunctionInlineBytes = 48;
+
+template <typename Signature,
+          std::size_t InlineBytes = kUniqueFunctionInlineBytes>
+class UniqueFunction; // primary template left undefined
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class UniqueFunction<R(Args...), InlineBytes>
+{
+  public:
+    UniqueFunction() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    UniqueFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            vt_ = &vtableInline<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            vt_ = &vtableHeap<Fn>;
+        }
+    }
+
+    UniqueFunction(UniqueFunction &&other) noexcept { moveFrom(other); }
+
+    UniqueFunction &
+    operator=(UniqueFunction &&other) noexcept
+    {
+        if (this != &other) {
+            if (vt_)
+                vt_->destroy(buf_);
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    UniqueFunction(const UniqueFunction &) = delete;
+    UniqueFunction &operator=(const UniqueFunction &) = delete;
+
+    ~UniqueFunction()
+    {
+        if (vt_)
+            vt_->destroy(buf_);
+    }
+
+    /** Invoke the wrapped callable (undefined when empty). */
+    R
+    operator()(Args... args)
+    {
+        return vt_->call(buf_, std::forward<Args>(args)...);
+    }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  private:
+    /** Inline capture capacity. The default fits a `this` pointer
+     *  plus a moved completion callback and a couple of scalars;
+     *  holders on the hot path widen it so moved-in continuations
+     *  chain without ever spilling to the heap. */
+    static constexpr std::size_t kInlineBytes = InlineBytes;
+
+    struct VTable {
+        R (*call)(void *, Args...);
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr VTable vtableInline{
+        [](void *b, Args... args) -> R {
+            return (*reinterpret_cast<Fn *>(b))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) {
+            Fn *s = reinterpret_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *b) { reinterpret_cast<Fn *>(b)->~Fn(); }};
+
+    template <typename Fn>
+    static constexpr VTable vtableHeap{
+        [](void *b, Args... args) -> R {
+            return (**reinterpret_cast<Fn **>(b))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        [](void *b) { delete *reinterpret_cast<Fn **>(b); }};
+
+    void
+    moveFrom(UniqueFunction &other) noexcept
+    {
+        vt_ = other.vt_;
+        if (vt_)
+            vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const VTable *vt_ = nullptr;
+};
+
+} // namespace rcnvm::util
+
+#endif // RCNVM_UTIL_UNIQUE_FUNCTION_HH_

@@ -183,6 +183,29 @@ TEST(MachineTest, ResetRestoresColdCaches)
     EXPECT_EQ(cold_again, cold);
 }
 
+TEST(MachineTest, SequentialLoadTraceGolden)
+{
+    // End-to-end deterministic-trace regression: the exact finish
+    // tick of a 4096-load streaming plan on the RC-NVM machine,
+    // recorded from the post-bugfix scheduler. Any change to cache,
+    // controller, or bus timing outcomes moves this number.
+    MachineConfig config;
+    config.device = mem::DeviceKind::RcNvm;
+    AccessPlan plan;
+    for (unsigned i = 0; i < 4096; ++i)
+        plan.push_back(MemOp::load((Addr{i} * 64) & 0xffffffff));
+    Machine machine(config);
+    const RunResult r = machine.run(plan);
+    EXPECT_EQ(r.ticks, Tick{42041500});
+    EXPECT_EQ(r.stats.get("mem.requests"), 4096.0);
+    // The derived bus-utilization stat is exported and meaningful:
+    // a bus-saturated stream keeps the loaded channel mostly busy.
+    EXPECT_GT(r.stats.get("mem.busUtilization"), 0.0);
+    EXPECT_LE(r.stats.get("mem.busUtilization"), 1.0);
+    // One scheduler wakeup per bus slot, none duplicated.
+    EXPECT_EQ(r.stats.get("mem.wakeups"), 4095.0);
+}
+
 TEST(MachineDeathTest, TooManyPlansIsFatal)
 {
     Machine machine(smallMachine());

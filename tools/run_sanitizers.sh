@@ -1,0 +1,18 @@
+#!/bin/sh
+# Sanitizer job: build the full tree with ASan+UBSan and run ctest.
+# Uses a dedicated build directory so it never disturbs the primary
+# build/. Any sanitizer report fails the run (halt_on_error below and
+# -DCTEST exit codes).
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
+bdir=${1:-"$root/build-sanitize"}
+
+cmake -B "$bdir" -S "$root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRCNVM_SANITIZE="address;undefined"
+cmake --build "$bdir" -j "$(nproc)"
+
+ASAN_OPTIONS=detect_leaks=1:halt_on_error=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir "$bdir" --output-on-failure -j "$(nproc)"
