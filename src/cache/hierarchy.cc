@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hh"
 
+#include <algorithm>
+
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -11,13 +13,23 @@ Hierarchy::Hierarchy(const HierarchyConfig &config, sim::EventQueue &eq,
       eq_(eq),
       memory_(memory),
       synonymEnabled_(memory.caps().columnAccess),
-      synonym_(memory.map())
+      synonym_(memory.map()),
+      mshrs_(config.mshrs),
+      deferredInChannel_(memory.channels(), 0),
+      retryHandlers_(config.cores)
 {
     for (unsigned c = 0; c < config_.cores; ++c) {
         l1_.push_back(std::make_unique<Cache>(config_.l1));
         l2_.push_back(std::make_unique<Cache>(config_.l2));
     }
     l3_ = std::make_unique<Cache>(config_.l3);
+    memory_.setRetryCallback([this] { onMemorySpace(); });
+}
+
+void
+Hierarchy::setRetryHandler(unsigned core, RetryFn fn)
+{
+    retryHandlers_.at(core) = std::move(fn);
 }
 
 Cycles
@@ -102,14 +114,93 @@ Hierarchy::onL3Evict(const Cache::Victim &victim)
 }
 
 void
+Hierarchy::sendPacket(mem::MemPacket &&pkt)
+{
+    // An older deferred packet for the same channel must go first;
+    // issuing around it would reorder the miss stream the controller
+    // sees and break FR-FCFS's arrival-order tie-breaking. When
+    // nothing is deferred at all (the common case) the channel
+    // lookup - an address decode - is skipped entirely.
+    if (deferred_.empty()) {
+        if (memory_.tryIssue(pkt))
+            return;
+    } else {
+        const unsigned ch = memory_.channelOf(pkt.addr, pkt.orient);
+        if (deferredInChannel_[ch] == 0 && memory_.tryIssue(pkt))
+            return;
+    }
+    const unsigned ch = memory_.channelOf(pkt.addr, pkt.orient);
+    ++deferredInChannel_[ch];
+    deferred_.push_back(std::move(pkt));
+}
+
+void
+Hierarchy::drainDeferred()
+{
+    std::vector<bool> blocked(deferredInChannel_.size(), false);
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+        const unsigned ch = memory_.channelOf(it->addr, it->orient);
+        if (!blocked[ch] && memory_.tryIssue(*it)) {
+            --deferredInChannel_[ch];
+            it = deferred_.erase(it);
+        } else {
+            blocked[ch] = true;
+            ++it;
+        }
+    }
+}
+
+void
 Hierarchy::writeback(const LineKey &key)
 {
     writebacks_.inc();
-    mem::MemRequest req;
-    req.addr = key.addr;
-    req.orient = key.orient;
-    req.isWrite = true;
-    memory_.issue(std::move(req));
+    wbBuffer_.push_back(key);
+    drainWritebacks();
+}
+
+void
+Hierarchy::drainWritebacks()
+{
+    while (!wbBuffer_.empty()) {
+        const LineKey key = wbBuffer_.front();
+        // Demand packets deferred on this channel are older and
+        // latency-critical; they keep their queue slots.
+        if (!deferred_.empty() &&
+            deferredInChannel_[memory_.channelOf(key.addr,
+                                                 key.orient)] != 0)
+            break;
+        mem::MemPacket pkt;
+        pkt.addr = key.addr;
+        pkt.orient = key.orient;
+        pkt.isWrite = true;
+        if (!memory_.tryIssue(pkt))
+            break;
+        wbBuffer_.pop_front();
+    }
+}
+
+void
+Hierarchy::onMemorySpace()
+{
+    drainDeferred();
+    drainWritebacks();
+    notifyRetry();
+}
+
+void
+Hierarchy::notifyRetry()
+{
+    // Nothing was refused since the last notification: every fill
+    // completion lands here, so skip the handler fan-out unless a
+    // core is actually waiting. Cleared before invoking handlers -
+    // a handler that retries and is refused again re-arms it.
+    if (pendingRetries_ == 0)
+        return;
+    pendingRetries_ = 0;
+    for (auto &fn : retryHandlers_) {
+        if (fn)
+            fn();
+    }
 }
 
 void
@@ -221,19 +312,87 @@ Hierarchy::coherenceOnWrite(unsigned core, const LineKey &key)
 }
 
 void
+Hierarchy::onFillComplete(unsigned mshr_idx)
+{
+    // The issuing packet captured its slot index; a slot stays live
+    // under one key until this (single) completion frees it, so no
+    // key search is needed on the hot fill path.
+    if (!mshrs_.live(mshr_idx))
+        rcnvm_panic("fill completion for an unknown MSHR line");
+    MshrEntry *entry = &mshrs_.at(mshr_idx);
+    const LineKey key = entry->key;
+
+    bool any_write = false;
+    unsigned demand_targets = 0;
+    for (const MshrTarget &t : entry->targets) {
+        if (t.isWrite)
+            any_write = true;
+        if (!t.prefetchOnly)
+            ++demand_targets;
+    }
+    // Swap (not move) the target list out so both buffers keep their
+    // capacity: a move would steal the entry's buffer and force a
+    // fresh allocation on the next miss that reuses the entry. The
+    // entry must be released before the retry notification below so
+    // a woken core can claim it immediately.
+    fillScratch_.clear();
+    fillScratch_.swap(entry->targets);
+    mshrs_.free(*entry);
+
+    Cycles extra = 0;
+    fillL3(key, any_write ? MesiState::Modified : MesiState::Exclusive,
+           extra);
+
+    for (MshrTarget &t : fillScratch_) {
+        if (t.prefetchOnly) {
+            // Group-caching prefetch: the line is in the LLC now;
+            // only the fill-side synonym work is on its path.
+            eq_.scheduleAfter(config_.cpuPeriod * extra,
+                              [done = std::move(t.done),
+                               this]() mutable { done(eq_.now()); });
+            continue;
+        }
+        // The sets were last touched when the miss issued, thousands
+        // of simulated ticks ago; warm the private ones while the L3
+        // fill and synonym probe run.
+        l1_[t.core]->prefetchSet(key);
+        l2_[t.core]->prefetchSet(key);
+        Cycles textra = extra;
+        if (t.isWrite) {
+            textra += coherenceOnWrite(t.core, key);
+            textra += onWrite(t.core, key, t.word);
+        }
+        const MesiState st =
+            t.isWrite ? MesiState::Modified
+            : (demand_targets == 1 && !any_write) ? MesiState::Exclusive
+                                                  : MesiState::Shared;
+        fillPrivate(t.core, key, st);
+        const Tick fill =
+            config_.cpuPeriod * (config_.l1Latency + textra);
+        eq_.scheduleAfter(fill, [done = std::move(t.done),
+                                 this]() mutable { done(eq_.now()); });
+    }
+
+    // An MSHR (and possibly a channel slot) just freed up.
+    notifyRetry();
+}
+
+bool
 Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
 {
-    accesses_.inc();
-
     if (a.bypass) {
-        // GS-DRAM gathered access: streams past the caches.
+        // GS-DRAM gathered access: streams past the caches. Always
+        // accepted - the packet parks in the deferred queue when the
+        // channel is full, bounded by the cores' outstanding windows.
+        accesses_.inc();
         bypasses_.inc();
         llcMisses_.inc();
-        mem::MemRequest req;
+        mem::MemPacket req;
         req.addr = util::alignDown(a.addr, 64);
         req.orient = a.orient;
         req.isWrite = a.isWrite;
         req.gathered = true;
+        req.origin = core;
         const Tick path =
             config_.cpuPeriod * (config_.l1Latency + config_.l2Latency +
                                  config_.l3Latency);
@@ -241,13 +400,25 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
             done(t);
         };
         eq_.scheduleAfter(path, [this, req = std::move(req)]() mutable {
-            memory_.issue(std::move(req));
+            sendPacket(std::move(req));
         });
-        return;
+        return true;
     }
 
     const LineKey key{util::alignDown(a.addr, 64), a.orient};
     const unsigned word = static_cast<unsigned>((a.addr % 64) / 8);
+
+    // A fill for this line is already in flight: coalesce into its
+    // target list instead of occupying a second queue slot.
+    if (MshrEntry *entry = mshrs_.find(key)) {
+        accesses_.inc();
+        llcMisses_.inc();
+        mshrCoalesced_.inc();
+        entry->targets.push_back(MshrTarget{core, word, a.isWrite,
+                                            a.prefetchL3,
+                                            std::move(done)});
+        return true;
+    }
 
     // Warm the lower-level sets while the L1 scan runs; on the usual
     // L1 miss their tag reads then hit the host's cache.
@@ -259,39 +430,45 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         // LLC without disturbing the private caches, so the pinned
         // group does not thrash L1/L2 (Sec. 5).
         if (l3_->find(key)) {
+            accesses_.inc();
             l3Hits_.inc();
             eq_.scheduleAfter(config_.cpuPeriod * config_.l3Latency,
                               [done = std::move(done), this]() mutable {
                                   done(eq_.now());
                               });
-            return;
+            return true;
         }
+        if (mshrs_.full() ||
+            wbBuffer_.size() >= config_.wbBufferDepth) {
+            retries_.inc();
+            ++pendingRetries_;
+            return false;
+        }
+        accesses_.inc();
         llcMisses_.inc();
-        mem::MemRequest req;
+        MshrEntry *entry = mshrs_.allocate(key);
+        entry->targets.push_back(
+            MshrTarget{core, word, false, true, std::move(done)});
+        mem::MemPacket req;
         req.addr = key.addr;
         req.orient = key.orient;
-        req.onComplete = [this, key,
-                          done = std::move(done)](Tick) mutable {
-            Cycles extra = 0;
-            fillL3(key, MesiState::Exclusive, extra);
-            eq_.scheduleAfter(config_.cpuPeriod * extra,
-                              [done = std::move(done), this]() mutable {
-                                  done(eq_.now());
-                              });
+        req.origin = core;
+        req.onComplete = [this, idx = mshrs_.indexOf(*entry)](Tick) {
+            onFillComplete(idx);
         };
-        const Tick path =
-            config_.cpuPeriod * config_.l3Latency;
+        const Tick path = config_.cpuPeriod * config_.l3Latency;
         eq_.scheduleAfter(path,
                           [this, req = std::move(req)]() mutable {
-                              memory_.issue(std::move(req));
+                              sendPacket(std::move(req));
                           });
-        return;
+        return true;
     }
 
     Cycles lat = config_.l1Latency;
 
     // L1.
     if (CacheLine *line = l1_[core]->find(key)) {
+        accesses_.inc();
         l1Hits_.inc();
         if (a.isWrite) {
             if (line->state == MesiState::Shared)
@@ -307,12 +484,13 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
                           [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
-        return;
+        return true;
     }
 
     // L2.
     lat += config_.l2Latency;
     if (CacheLine *line = l2_[core]->find(key)) {
+        accesses_.inc();
         l2Hits_.inc();
         MesiState fill_state = line->state;
         if (a.isWrite) {
@@ -334,12 +512,13 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
                           [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
-        return;
+        return true;
     }
 
     // L3 + directory.
     lat += config_.l3Latency;
     if (CacheLine *line = l3_->find(key)) {
+        accesses_.inc();
         l3Hits_.inc();
         lat += coherenceOnRead(core, key);
         MesiState fill_state = MesiState::Shared;
@@ -354,45 +533,61 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
                           [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
-        return;
+        return true;
     }
 
-    // Miss to memory.
+    // Write-back race: the line was evicted dirty and is parked in
+    // the write-back buffer. Forward it back up instead of letting
+    // the stale copy in memory win the race with the write-back.
+    for (auto it = wbBuffer_.begin(); it != wbBuffer_.end(); ++it) {
+        if (*it == key) {
+            wbBuffer_.erase(it);
+            accesses_.inc();
+            wbForwards_.inc();
+            // Back-invalidation at eviction removed every private
+            // copy, so no coherence traffic is needed; the line
+            // re-enters dirty because memory never saw the data.
+            Cycles extra = 0;
+            fillL3(key, MesiState::Modified, extra);
+            if (a.isWrite)
+                extra += onWrite(core, key, word);
+            fillPrivate(core, key, MesiState::Modified);
+            eq_.scheduleAfter(config_.cpuPeriod * (lat + extra),
+                              [done = std::move(done), this]() mutable {
+                                  done(eq_.now());
+                              });
+            return true;
+        }
+    }
+
+    // Miss to memory. Refuse (and let the core retry) rather than
+    // growing any structure without bound.
+    if (mshrs_.full() || wbBuffer_.size() >= config_.wbBufferDepth) {
+        retries_.inc();
+        ++pendingRetries_;
+        return false;
+    }
+
+    accesses_.inc();
     llcMisses_.inc();
-    mem::MemRequest req;
+    MshrEntry *entry = mshrs_.allocate(key);
+    entry->targets.push_back(MshrTarget{core, word, a.isWrite, false,
+                                        std::move(done)});
+
+    mem::MemPacket req;
     req.addr = key.addr;
     req.orient = key.orient;
     req.isWrite = false; // line fill; the write happens on return
-
-    const bool is_write = a.isWrite;
-    req.onComplete = [this, core, key, word, is_write,
-                      done = std::move(done)](Tick) mutable {
-        // The sets were last touched when the miss issued, thousands
-        // of simulated ticks ago; warm the private ones while the L3
-        // fill and synonym probe run.
-        l1_[core]->prefetchSet(key);
-        l2_[core]->prefetchSet(key);
-        Cycles extra = 0;
-        fillL3(key, is_write ? MesiState::Modified : MesiState::Exclusive,
-               extra);
-        if (is_write) {
-            extra += coherenceOnWrite(core, key);
-            extra += onWrite(core, key, word);
-        }
-        fillPrivate(core, key,
-                    is_write ? MesiState::Modified
-                             : MesiState::Exclusive);
-        const Tick fill = config_.cpuPeriod *
-                          (config_.l1Latency + extra);
-        eq_.scheduleAfter(fill, [done = std::move(done), this]() mutable {
-            done(eq_.now());
-        });
-    };
+    req.origin = core;
+    req.onComplete = [this, idx = mshrs_.indexOf(*entry)](Tick) {
+            onFillComplete(idx);
+        };
 
     const Tick path = config_.cpuPeriod * lat;
     eq_.scheduleAfter(path, [this, req = std::move(req)]() mutable {
-        memory_.issue(std::move(req));
+        sendPacket(std::move(req));
     });
+    return true;
 }
 
 unsigned
@@ -422,6 +617,13 @@ Hierarchy::stats() const
     out.set("cache.writebacks",
             static_cast<double>(writebacks_.value()));
     out.set("cache.bypasses", static_cast<double>(bypasses_.value()));
+    out.set("cache.mshrCoalesced",
+            static_cast<double>(mshrCoalesced_.value()));
+    out.set("cache.retries", static_cast<double>(retries_.value()));
+    out.set("cache.wbForwards",
+            static_cast<double>(wbForwards_.value()));
+    out.set("cache.mshrOccupancy", mshrs_.occupancy().mean());
+    out.set("cache.maxMshrOccupancy", mshrs_.occupancy().max());
     out.set("cache.synonymProbes",
             static_cast<double>(synonymProbes_.value()));
     out.set("cache.crossingsFound",
@@ -449,6 +651,11 @@ Hierarchy::reset()
     for (auto &c : l2_)
         c->reset();
     l3_->reset();
+    mshrs_.reset();
+    deferred_.clear();
+    std::fill(deferredInChannel_.begin(), deferredInChannel_.end(), 0u);
+    wbBuffer_.clear();
+    pendingRetries_ = 0;
     accesses_.reset();
     l1Hits_.reset();
     l2Hits_.reset();
@@ -456,6 +663,9 @@ Hierarchy::reset()
     llcMisses_.reset();
     writebacks_.reset();
     bypasses_.reset();
+    mshrCoalesced_.reset();
+    retries_.reset();
+    wbForwards_.reset();
     synonymProbes_.reset();
     crossingsFound_.reset();
     synonymUpdates_.reset();

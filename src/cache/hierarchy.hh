@@ -9,15 +9,23 @@
  * bits are stored in the cache directory"). Probe, update, and
  * clean-up work is charged to a synonym-overhead statistic that the
  * Figure-21 bench reports as an overhead ratio.
+ *
+ * The memory side is non-blocking: misses allocate MSHRs whose
+ * target lists coalesce concurrent requests for the same line,
+ * dirty evictions park in a write-back buffer, and when either
+ * structure (or the channel queues below) is full the access is
+ * refused and the issuing core stalls until a retry notification.
  */
 
 #ifndef RCNVM_CACHE_HIERARCHY_HH_
 #define RCNVM_CACHE_HIERARCHY_HH_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/mshr.hh"
 #include "cache/synonym.hh"
 #include "mem/memory_system.hh"
 #include "sim/event_queue.hh"
@@ -30,7 +38,7 @@ namespace rcnvm::cache {
 /** Static configuration of the whole hierarchy (Table 1 defaults). */
 struct HierarchyConfig {
     unsigned cores = 4;
-    Tick cpuPeriod = 500; //!< 2 GHz
+    Tick cpuPeriod = 500; //!< 2 GHz; cores read their clock from here
 
     CacheConfig l1{"L1", 32 * 1024, 64, 8};
     CacheConfig l2{"L2", 256 * 1024, 64, 8};
@@ -45,6 +53,9 @@ struct HierarchyConfig {
     Cycles synonymProbe = 2;  //!< crossing probe on an L3 fill
     Cycles synonymUpdate = 2; //!< write-through to a crossed line
     Cycles synonymCleanup = 1; //!< per bit cleared on eviction
+
+    unsigned mshrs = 16;         //!< in-flight line fills (MSHR file)
+    unsigned wbBufferDepth = 16; //!< parked dirty evictions
 };
 
 /** One memory operation as seen by the hierarchy. */
@@ -74,11 +85,29 @@ class Hierarchy
     /** Completion continuation of one access (move-only). */
     using DoneFn = util::UniqueFunction<void(Tick)>;
 
+    /** Retry notification delivered to a refused core. */
+    using RetryFn = util::UniqueFunction<void()>;
+
     /**
-     * Perform one access for @p core. @p done is invoked exactly
-     * once with the completion tick.
+     * Perform one access for @p core.
+     *
+     * @return true when the access was accepted; @p done is then
+     *   invoked exactly once with the completion tick. false when
+     *   the miss path is saturated (MSHRs or write-back buffer
+     *   full): @p done is discarded, nothing was counted, and the
+     *   core must re-present the access after its retry handler
+     *   fires.
      */
-    void access(unsigned core, const CacheAccess &a, DoneFn done);
+    [[nodiscard]] bool access(unsigned core, const CacheAccess &a,
+                              DoneFn done);
+
+    /**
+     * Register @p core's retry handler. Invoked - from an event
+     * context, never re-entrantly from inside access() - whenever
+     * miss-path resources free up; the core decides whether it was
+     * actually waiting.
+     */
+    void setRetryHandler(unsigned core, RetryFn fn);
 
     /**
      * Pin or unpin every line of the given orientation overlapping
@@ -120,8 +149,29 @@ class Hierarchy
     /** MESI: obtain exclusivity for a write. */
     Cycles coherenceOnWrite(unsigned core, const LineKey &key);
 
-    /** Send a write-back of an evicted dirty line to memory. */
+    /** Park a write-back of an evicted dirty line and try to send. */
     void writeback(const LineKey &key);
+
+    /** Fill returned from memory: service every target of the MSHR
+     *  in slot @p mshr_idx (captured at issue; slots are stable). */
+    void onFillComplete(unsigned mshr_idx);
+
+    /** Hand a packet to memory, deferring it when the channel is
+     *  full. Deferral keeps per-channel issue order. */
+    void sendPacket(mem::MemPacket &&pkt);
+
+    /** Re-offer deferred packets (in order, per channel). */
+    void drainDeferred();
+
+    /** Issue parked write-backs while their channel has room and no
+     *  deferred demand packet is ahead of them. */
+    void drainWritebacks();
+
+    /** Channel queue space opened up: drain, then wake cores. */
+    void onMemorySpace();
+
+    /** Invoke every registered retry handler. */
+    void notifyRetry();
 
     HierarchyConfig config_;
     sim::EventQueue &eq_;
@@ -133,6 +183,18 @@ class Hierarchy
     std::vector<std::unique_ptr<Cache>> l2_;
     std::unique_ptr<Cache> l3_;
 
+    MshrFile mshrs_;
+    /** Scratch target list reused by onFillComplete (swap, not move,
+     *  so neither buffer is reallocated per fill). */
+    std::vector<MshrTarget> fillScratch_;
+    std::deque<mem::MemPacket> deferred_; //!< refused by the channel
+    std::vector<unsigned> deferredInChannel_; //!< per-channel count
+    std::deque<LineKey> wbBuffer_; //!< parked dirty evictions
+    std::vector<RetryFn> retryHandlers_;
+    /** Refusals since the last retry notification; zero lets fill
+     *  completions skip the handler fan-out entirely. */
+    unsigned pendingRetries_ = 0;
+
     // Statistics.
     util::Counter accesses_;
     util::Counter l1Hits_;
@@ -141,6 +203,9 @@ class Hierarchy
     util::Counter llcMisses_;
     util::Counter writebacks_;
     util::Counter bypasses_;
+    util::Counter mshrCoalesced_; //!< misses folded into a live MSHR
+    util::Counter retries_;       //!< accesses refused (miss path full)
+    util::Counter wbForwards_;    //!< misses served from the WB buffer
     util::Counter synonymProbes_;
     util::Counter crossingsFound_;
     util::Counter synonymUpdates_;

@@ -36,6 +36,15 @@ struct ExperimentResult {
         return stats.get("mem.bufferMissRate");
     }
 
+    /** Misses folded into an in-flight MSHR (MLP observability). */
+    double mshrCoalesced() const
+    {
+        return stats.get("cache.mshrCoalesced");
+    }
+
+    /** Accesses refused by the saturated miss path (core retries). */
+    double retries() const { return stats.get("cache.retries"); }
+
     /**
      * Cache synonym and coherence overhead ratio (Figure-21
      * metric): the extra work introduced by RC-NVM's dual-address

@@ -6,8 +6,13 @@ namespace rcnvm::cpu {
 
 Core::Core(unsigned id, sim::EventQueue &eq,
            cache::Hierarchy &hierarchy, unsigned window)
-    : id_(id), eq_(eq), hierarchy_(hierarchy), window_(window)
+    : id_(id),
+      eq_(eq),
+      hierarchy_(hierarchy),
+      window_(window),
+      cpuPeriod_(hierarchy.config().cpuPeriod)
 {
+    hierarchy_.setRetryHandler(id_, [this] { onRetry(); });
 }
 
 void
@@ -22,6 +27,7 @@ Core::start(const AccessPlan &plan,
     finished_ = false;
     fencePending_ = false;
     stalledFull_ = false;
+    stalledRetry_ = false;
     scheduleAdvance(eq_.now());
 }
 
@@ -49,6 +55,18 @@ Core::onAccessDone()
 }
 
 void
+Core::onRetry()
+{
+    // The hierarchy broadcasts; only a core actually parked on a
+    // refused access reacts.
+    if (!stalledRetry_)
+        return;
+    stalledRetry_ = false;
+    retryStallTicks_.inc(eq_.now() - retryStallStart_);
+    advance();
+}
+
+void
 Core::advance()
 {
     if (finished_)
@@ -64,21 +82,21 @@ Core::advance()
         const MemOp &op = (*plan_)[pc_];
         switch (op.kind) {
           case OpKind::Compute:
-            readyTick_ = now + Tick{op.computeCycles} * cpuPeriod;
+            readyTick_ = now + Tick{op.computeCycles} * cpuPeriod_;
             ++pc_;
             continue;
 
           case OpKind::Pin:
             hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
                                 true);
-            readyTick_ = now + 2 * cpuPeriod;
+            readyTick_ = now + 2 * cpuPeriod_;
             ++pc_;
             continue;
 
           case OpKind::Unpin:
             hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
                                 false);
-            readyTick_ = now + 2 * cpuPeriod;
+            readyTick_ = now + 2 * cpuPeriod_;
             ++pc_;
             continue;
 
@@ -103,10 +121,6 @@ Core::advance()
                 }
                 return; // resumed by onAccessDone
             }
-            ++outstanding_;
-            memOps_.inc();
-            ++pc_;
-            readyTick_ = now + cpuPeriod; // one issue per cycle
 
             cache::CacheAccess access;
             access.addr = op.addr;
@@ -115,8 +129,22 @@ Core::advance()
             access.bypass = op.kind == OpKind::GLoad;
             access.prefetchL3 = op.kind == OpKind::CPrefetch;
             access.bytes = op.bytes;
-            hierarchy_.access(id_, access,
-                              [this](Tick) { onAccessDone(); });
+            // Completion is always delivered through the event queue
+            // (never synchronously from inside access), so the
+            // post-acceptance bookkeeping below cannot race it.
+            if (!hierarchy_.access(id_, access,
+                                   [this](Tick) { onAccessDone(); })) {
+                retries_.inc();
+                if (!stalledRetry_) {
+                    stalledRetry_ = true;
+                    retryStallStart_ = now;
+                }
+                return; // resumed by onRetry
+            }
+            ++outstanding_;
+            memOps_.inc();
+            ++pc_;
+            readyTick_ = now + cpuPeriod_; // one issue per cycle
             continue;
           }
         }

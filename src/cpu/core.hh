@@ -25,6 +25,10 @@ namespace rcnvm::cpu {
  * for their duration; Fence drains the window. This models the
  * memory-level parallelism of an out-of-order core running the
  * memory-bound query kernels without simulating its pipeline.
+ *
+ * The hierarchy may refuse an access (miss path saturated); the core
+ * then stalls on retry and re-presents the same operation when the
+ * hierarchy's retry notification fires.
  */
 class Core
 {
@@ -32,7 +36,9 @@ class Core
     /**
      * @param id        core number (cache port selector)
      * @param eq        simulation event queue
-     * @param hierarchy cache hierarchy to access
+     * @param hierarchy cache hierarchy to access; the core clocks
+     *                  itself from its cpuPeriod so the two can
+     *                  never be configured apart
      * @param window    maximum outstanding memory accesses
      */
     Core(unsigned id, sim::EventQueue &eq,
@@ -56,15 +62,26 @@ class Core
     /** Cycles spent stalled with a full window. */
     std::uint64_t stallTicks() const { return stallTicks_.value(); }
 
+    /** Accesses the hierarchy refused (retried later). */
+    std::uint64_t retries() const { return retries_.value(); }
+
+    /** Ticks spent stalled waiting for a retry notification. */
+    std::uint64_t retryStallTicks() const
+    {
+        return retryStallTicks_.value();
+    }
+
   private:
     void advance();
     void scheduleAdvance(Tick when);
     void onAccessDone();
+    void onRetry();
 
     unsigned id_;
     sim::EventQueue &eq_;
     cache::Hierarchy &hierarchy_;
     unsigned window_;
+    Tick cpuPeriod_; //!< from HierarchyConfig: one shared clock
 
     const AccessPlan *plan_ = nullptr; //!< borrowed from start()
     std::size_t pc_ = 0;
@@ -72,16 +89,18 @@ class Core
     Tick readyTick_ = 0;
     bool advanceScheduled_ = false;
     bool stalledFull_ = false;
+    bool stalledRetry_ = false;
     bool fencePending_ = false;
     bool finished_ = true;
     Tick finishTick_ = 0;
     Tick stallStart_ = 0;
+    Tick retryStallStart_ = 0;
     util::UniqueFunction<void(Tick)> onFinish_;
 
     util::Counter memOps_;
     util::Counter stallTicks_;
-
-    static constexpr Tick cpuPeriod = 500; // 2 GHz
+    util::Counter retries_;
+    util::Counter retryStallTicks_;
 };
 
 } // namespace rcnvm::cpu

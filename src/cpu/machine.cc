@@ -1,6 +1,7 @@
 #include "cpu/machine.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -12,7 +13,8 @@ Machine::Machine(const MachineConfig &config) : config_(config)
         config_.timing ? *config_.timing
                        : mem::timingFor(config_.device);
     memory_ = std::make_unique<mem::MemorySystem>(
-        config_.device, eq_, timing, config_.salp);
+        config_.device, eq_, timing, config_.salp,
+        config_.memQueueCapacity);
     hierarchy_ = std::make_unique<cache::Hierarchy>(
         config_.hierarchy, eq_, *memory_);
     for (unsigned c = 0; c < config_.hierarchy.cores; ++c) {
@@ -52,13 +54,21 @@ Machine::run(const std::vector<AccessPlan> &plans)
     result.ticks = latest - start;
     result.stats = hierarchy_->stats();
     result.stats.merge(memory_->stats());
-    double mem_ops = 0, stall = 0;
-    for (const auto &core : cores_) {
-        mem_ops += static_cast<double>(core->memOps());
-        stall += static_cast<double>(core->stallTicks());
+    double mem_ops = 0, stall = 0, retries = 0, retry_stall = 0;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        const Core &core = *cores_[c];
+        mem_ops += static_cast<double>(core.memOps());
+        stall += static_cast<double>(core.stallTicks());
+        retries += static_cast<double>(core.retries());
+        retry_stall += static_cast<double>(core.retryStallTicks());
+        result.stats.set("cpu.core" + std::to_string(c) +
+                             ".retryStallTicks",
+                         static_cast<double>(core.retryStallTicks()));
     }
     result.stats.set("cpu.memOps", mem_ops);
     result.stats.set("cpu.stallTicks", stall);
+    result.stats.set("cpu.retries", retries);
+    result.stats.set("cpu.retryStallTicks", retry_stall);
     result.stats.set("run.ticks", static_cast<double>(result.ticks));
     return result;
 }

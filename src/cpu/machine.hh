@@ -28,6 +28,7 @@ struct MachineConfig {
     cache::HierarchyConfig hierarchy;
     unsigned window = 8; //!< outstanding accesses per core
     bool salp = false;   //!< subarray-level parallelism extension
+    unsigned memQueueCapacity = 32; //!< per-channel queue depth
 };
 
 /** Result of one simulation run. */

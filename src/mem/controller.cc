@@ -71,6 +71,7 @@ ChannelController::enqueue(MemRequest &&req)
         activeBanks_.push_back(b);
     }
     ++totalQueued_;
+    stats_.queueOccupancy.sample(static_cast<double>(totalQueued_));
     trySchedule();
 }
 
@@ -124,6 +125,19 @@ ChannelController::issueFrom(unsigned b, std::size_t pos)
         bq.fifo.erase(bq.fifo.begin() +
                       static_cast<std::ptrdiff_t>(pos));
     --totalQueued_;
+
+    // Backpressure: tell the client the moment occupancy drops back
+    // below capacity. Deferred to a same-tick event so client code
+    // (which may re-enter enqueue) never runs inside the scheduler.
+    if (spaceCb_ && totalQueued_ == capacity_ - 1 &&
+        !spaceNotifyPending_) {
+        spaceNotifyPending_ = true;
+        eq_.schedule(eq_.now(), [this] {
+            spaceNotifyPending_ = false;
+            if (spaceCb_)
+                spaceCb_();
+        });
+    }
 
     Bank &bank = banks_[b];
     Bank::Service s =
@@ -326,6 +340,7 @@ ChannelController::reset()
         bank.reset();
     busFree_ = 0;
     cancelWakeup();
+    spaceNotifyPending_ = false;
     statsSince_ = eq_.now();
     stats_ = ControllerStats{};
 }

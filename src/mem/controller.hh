@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct ControllerStats {
     util::Sampled queueWaitTicks;
     util::Sampled serviceTicks;
     util::Sampled bankQueueDepth; //!< target bank's depth at enqueue
+    util::Sampled queueOccupancy; //!< total queued after each enqueue
     util::Counter busBusyTicks;   //!< bus slots consumed (2x gathered)
     util::Counter wakeups;        //!< scheduler wakeup events that ran
     double energyPJ = 0.0;        //!< accumulated device energy
@@ -82,6 +84,20 @@ class ChannelController
 
     /** Number of queued (not yet issued) requests. */
     std::size_t queued() const { return totalQueued_; }
+
+    /** Configured request-queue depth. */
+    unsigned capacity() const { return capacity_; }
+
+    /**
+     * Register a backpressure hook: invoked (via a same-tick event,
+     * never re-entrantly from inside the scheduler) whenever the
+     * queue occupancy drops back below capacity, so a client that
+     * was refused by canAccept() knows when to retry.
+     */
+    void setSpaceCallback(std::function<void()> cb)
+    {
+        spaceCb_ = std::move(cb);
+    }
 
     /** Controller statistics. */
     const ControllerStats &stats() const { return stats_; }
@@ -162,6 +178,8 @@ class ChannelController
     std::uint64_t wakeupGen_ = 0; //!< cancels superseded wakeups
     Tick statsSince_ = 0;
     ControllerStats stats_;
+    std::function<void()> spaceCb_;
+    bool spaceNotifyPending_ = false;
 
     /** Max bypasses of the globally oldest request. */
     static constexpr unsigned starvationCap = 16;

@@ -25,7 +25,8 @@ MemorySystem::MemorySystem(DeviceKind kind, sim::EventQueue &eq)
 }
 
 MemorySystem::MemorySystem(DeviceKind kind, sim::EventQueue &eq,
-                           const TimingParams &timing, bool salp)
+                           const TimingParams &timing, bool salp,
+                           unsigned queue_capacity)
     : kind_(kind),
       caps_(capsFor(kind)),
       map_(geometryFor(kind)),
@@ -33,7 +34,7 @@ MemorySystem::MemorySystem(DeviceKind kind, sim::EventQueue &eq,
 {
     for (unsigned c = 0; c < map_.geometry().channels; ++c) {
         channels_.push_back(std::make_unique<ChannelController>(
-            map_, timing, eq_, 32, salp));
+            map_, timing, eq_, queue_capacity, salp));
     }
 }
 
@@ -42,6 +43,12 @@ MemorySystem::canAccept(Addr addr, Orientation orient) const
 {
     const DecodedAddr d = map_.decode(addr, orient);
     return channels_[d.channel]->canAccept();
+}
+
+unsigned
+MemorySystem::channelOf(Addr addr, Orientation orient) const
+{
+    return map_.decode(addr, orient).channel;
 }
 
 void
@@ -59,11 +66,42 @@ MemorySystem::issue(MemRequest &&req)
     channels_[d.channel]->enqueue(std::move(req));
 }
 
+bool
+MemorySystem::tryIssue(MemPacket &pkt)
+{
+    // Decoded once: this runs for every miss, and routing through
+    // canAccept() + issue() would repeat the address decode.
+    const DecodedAddr d = map_.decode(pkt.addr, pkt.orient);
+    if (!channels_[d.channel]->canAccept()) {
+        rejectedIssues_.inc();
+        return false;
+    }
+    if (pkt.orient == Orientation::Column && !caps_.columnAccess) {
+        rcnvm_panic("column-oriented request issued to ",
+                    toString(kind_),
+                    ", which has no column access support");
+    }
+    if (pkt.gathered && !caps_.gather)
+        rcnvm_panic("gathered request issued to ", toString(kind_));
+    channels_[d.channel]->enqueue(std::move(pkt));
+    return true;
+}
+
+void
+MemorySystem::setRetryCallback(std::function<void()> cb)
+{
+    // All channels share the one client-side retry hook: a client
+    // that was refused re-probes canAccept() per packet, so a spare
+    // wakeup from another channel is harmless.
+    for (auto &ch : channels_)
+        ch->setSpaceCallback(cb);
+}
+
 util::StatsMap
 MemorySystem::stats() const
 {
     util::StatsMap out;
-    util::Sampled wait, service, bank_depth;
+    util::Sampled wait, service, bank_depth, occupancy;
     double elapsed = 0;
     for (const auto &ch : channels_) {
         const ControllerStats &s = ch->stats();
@@ -99,14 +137,19 @@ MemorySystem::stats() const
         wait.merge(s.queueWaitTicks);
         service.merge(s.serviceTicks);
         bank_depth.merge(s.bankQueueDepth);
+        occupancy.merge(s.queueOccupancy);
         elapsed += static_cast<double>(ch->statsElapsed());
     }
     out.set("mem.requests",
             out.get("mem.reads") + out.get("mem.writes"));
+    out.set("mem.rejectedIssues",
+            static_cast<double>(rejectedIssues_.value()));
     out.set("mem.avgQueueWaitTicks", wait.mean());
     out.set("mem.avgServiceTicks", service.mean());
     out.set("mem.avgBankQueueDepth", bank_depth.mean());
     out.set("mem.maxBankQueueDepth", bank_depth.max());
+    out.set("mem.avgQueueOccupancy", occupancy.mean());
+    out.set("mem.maxQueueOccupancy", occupancy.max());
     // Fraction of the statistics window the channel data buses spent
     // transferring (gathered lines hold the bus for two slots).
     out.set("mem.busUtilization",
@@ -123,6 +166,7 @@ MemorySystem::reset()
 {
     for (auto &ch : channels_)
         ch->reset();
+    rejectedIssues_.reset();
 }
 
 } // namespace rcnvm::mem

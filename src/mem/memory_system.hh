@@ -7,6 +7,7 @@
 #ifndef RCNVM_MEM_MEMORY_SYSTEM_HH_
 #define RCNVM_MEM_MEMORY_SYSTEM_HH_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,10 +32,13 @@ class MemorySystem
      * @param kind    which of the four devices to model
      * @param eq      simulation event queue
      * @param timing  timing override (defaults to the Table-1 preset)
+     * @param salp    per-subarray buffer pairs (SALP extension)
+     * @param queue_capacity  per-channel request-queue depth
      */
     MemorySystem(DeviceKind kind, sim::EventQueue &eq);
     MemorySystem(DeviceKind kind, sim::EventQueue &eq,
-                 const TimingParams &timing, bool salp = false);
+                 const TimingParams &timing, bool salp = false,
+                 unsigned queue_capacity = 32);
 
     /** Device kind being modelled. */
     DeviceKind kind() const { return kind_; }
@@ -48,12 +52,35 @@ class MemorySystem
     /** True when a request can be queued right now. */
     bool canAccept(Addr addr, Orientation orient) const;
 
+    /** Channel a packet to this address/orientation would use. */
+    unsigned channelOf(Addr addr, Orientation orient) const;
+
+    /** Number of channels (for per-channel client bookkeeping). */
+    unsigned channels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
     /**
      * Queue a request. Column-oriented requests are rejected with a
      * panic on devices without column access (the compiler must not
      * emit them).
      */
     void issue(MemRequest &&req);
+
+    /**
+     * Backpressured issue: queue @p pkt only if its channel has
+     * room. On refusal the packet is left untouched (the caller
+     * keeps ownership and retries after the retry callback) and the
+     * rejection is counted in `mem.rejectedIssues`.
+     */
+    [[nodiscard]] bool tryIssue(MemPacket &pkt);
+
+    /**
+     * Register the retry hook invoked (via a same-tick event)
+     * whenever any channel that refused a packet frees queue space.
+     */
+    void setRetryCallback(std::function<void()> cb);
 
     /** Aggregate statistics over all channels. */
     util::StatsMap stats() const;
@@ -67,6 +94,7 @@ class MemorySystem
     AddressMap map_;
     sim::EventQueue &eq_;
     std::vector<std::unique_ptr<ChannelController>> channels_;
+    util::Counter rejectedIssues_; //!< tryIssue refusals
 };
 
 /** Geometry preset for a device kind. */

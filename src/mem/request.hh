@@ -1,7 +1,7 @@
 /**
  * @file
- * The memory request type exchanged between the cache hierarchy and
- * the memory controllers.
+ * The memory packet type exchanged along the access path
+ * Core -> Hierarchy -> MemorySystem -> ChannelController.
  */
 
 #ifndef RCNVM_MEM_REQUEST_HH_
@@ -18,23 +18,41 @@ namespace rcnvm::mem {
  * One memory transaction (normally a 64-byte line fill or
  * write-back). The orientation selects which address space the
  * address lives in and which bank buffer serves it; `gathered`
- * marks a GS-DRAM in-row gather access.
+ * marks a GS-DRAM in-row gather access; `origin` names the core the
+ * packet was issued on behalf of (kNoOrigin for internal traffic
+ * such as write-backs), so queueing and backpressure can be
+ * attributed to an owner instead of an anonymous lambda chain.
  */
-struct MemRequest {
+struct MemPacket {
+    /** Origin value of internal (ownerless) traffic. */
+    static constexpr unsigned kNoOrigin = ~0u;
+
     Addr addr = 0;
+    unsigned bytes = 64;
+    unsigned origin = kNoOrigin; //!< issuing core, or kNoOrigin
     Orientation orient = Orientation::Row;
     bool isWrite = false;
-    unsigned bytes = 64;
     bool gathered = false;
 
     /** Invoked exactly once with the completion tick. May be empty
-     *  for fire-and-forget write-backs. Move-only: a request owns
+     *  for fire-and-forget write-backs. Move-only: a packet owns
      *  its continuation, so completion handlers are never copied.
-     *  The widened inline capacity fits the cache hierarchy's miss
-     *  continuation (a moved-in DoneFn plus the line key, 112 bytes
-     *  with padding) without a heap allocation per miss. */
-    util::UniqueFunction<void(Tick), 112> onComplete;
+     *  The widened inline capacity fits the cache hierarchy's
+     *  continuations (a moved-in DoneFn, 64 bytes with padding, or
+     *  a line key for the MSHR fill path) without a heap allocation
+     *  per miss. */
+    util::UniqueFunction<void(Tick), 96> onComplete;
 };
+
+// A moved packet must stay within the event queue's inline callback
+// storage (one `this` pointer of headroom); growing it forces a heap
+// allocation per simulated miss.
+static_assert(sizeof(MemPacket) <= 152, "MemPacket outgrew the "
+              "event-queue inline callback budget");
+
+/** Historical name, kept for call sites that predate the packet
+ *  pipeline; a request and a packet are the same object. */
+using MemRequest = MemPacket;
 
 } // namespace rcnvm::mem
 

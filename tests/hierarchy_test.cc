@@ -32,7 +32,8 @@ struct Fixture {
         a.isWrite = write;
         a.bytes = bytes;
         const Tick start = eq.now();
-        hierarchy.access(core, a, [&](Tick t) { done = t - start; });
+        EXPECT_TRUE(hierarchy.access(core, a,
+                                     [&](Tick t) { done = t - start; }));
         eq.run();
         return done;
     }
@@ -188,7 +189,7 @@ TEST(HierarchyTest, SynonymDisabledOnRowOnlyDevices)
     Hierarchy hierarchy(config, eq, memory);
     CacheAccess a;
     a.addr = 0x1000;
-    hierarchy.access(0, a, [](Tick) {});
+    EXPECT_TRUE(hierarchy.access(0, a, [](Tick) {}));
     eq.run();
     EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.synonymProbes"),
                      0.0);
@@ -221,13 +222,13 @@ TEST(HierarchyTest, GatherBypassSkipsCaches)
     a.addr = 0x2000;
     a.bypass = true;
     Tick done = 0;
-    hierarchy.access(0, a, [&](Tick t) { done = t; });
+    EXPECT_TRUE(hierarchy.access(0, a, [&](Tick t) { done = t; }));
     eq.run();
     EXPECT_GT(done, 0u);
     EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.bypasses"), 1.0);
     EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.llcMisses"), 1.0);
     // A second identical gather still goes to memory.
-    hierarchy.access(0, a, [&](Tick t) { done = t; });
+    EXPECT_TRUE(hierarchy.access(0, a, [&](Tick t) { done = t; }));
     eq.run();
     EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.llcMisses"), 2.0);
 }
@@ -252,7 +253,7 @@ TEST(HierarchyTest, DirtyEvictionWritesBack)
         a.addr = memory.map().encode(d, Orientation::Row);
         a.isWrite = true;
         a.bytes = 8;
-        hierarchy.access(0, a, [](Tick) {});
+        EXPECT_TRUE(hierarchy.access(0, a, [](Tick) {}));
         eq.run();
     }
     EXPECT_GT(hierarchy.stats().get("cache.writebacks"), 0.0);

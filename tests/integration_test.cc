@@ -180,8 +180,12 @@ TEST_F(IntegrationTest, StatsAreInternallyConsistent)
         runQuery(mem::DeviceKind::RcNvm, workload_, QueryId::Q1);
     EXPECT_LE(r.stats.get("cache.llcMisses"),
               r.stats.get("cache.accesses"));
+    // Every demand miss reaches memory unless it coalesced into an
+    // in-flight MSHR or was served out of the write-back buffer.
     EXPECT_GE(r.stats.get("mem.requests"),
-              r.stats.get("cache.llcMisses"));
+              r.stats.get("cache.llcMisses") -
+                  r.stats.get("cache.mshrCoalesced") -
+                  r.stats.get("cache.wbForwards"));
     EXPECT_LE(r.bufferMissRate(), 1.0);
     EXPECT_GE(r.bufferMissRate(), 0.0);
 }
@@ -194,9 +198,14 @@ TEST_F(IntegrationTest, MicroColumnScansFavourRcNvm)
     const auto dram = runMicro(mem::DeviceKind::Dram, tables_,
                                MicroBench::ColRead,
                                imdb::ChunkLayout::ColumnOriented);
-    // Figure 17: ~76% execution-time reduction on column scans.
+    // Figure 17 reports ~76% execution-time reduction on column
+    // scans. At this scale the gap is smaller since MSHR coalescing
+    // was introduced: the four cores race on the same lines, and
+    // DRAM no longer pays for the duplicate in-flight fetches that
+    // the pre-MSHR model issued (one per racing core).
     EXPECT_LT(static_cast<double>(rc.ticks),
-              0.5 * static_cast<double>(dram.ticks));
+              0.65 * static_cast<double>(dram.ticks));
+    EXPECT_GT(rc.mshrCoalesced() + dram.mshrCoalesced(), 0.0);
 }
 
 TEST_F(IntegrationTest, MicroRowScansComparableAcrossDevices)
