@@ -31,11 +31,11 @@ main()
             workload::querySpec(row.id).name};
         for (const auto &r : row.byDevice) {
             cells.push_back(bench::num(
-                r.stats.get("mem.energyPJ") / 1.0e6, 2));
+                r.stats.at("mem.energyPJ") / 1.0e6, 2));
         }
-        const double rc = row.byDevice[0].stats.get("mem.energyPJ");
+        const double rc = row.byDevice[0].stats.at("mem.energyPJ");
         const double dram =
-            row.byDevice[3].stats.get("mem.energyPJ");
+            row.byDevice[3].stats.at("mem.energyPJ");
         rc_sum += rc;
         dram_sum += dram;
         cells.push_back(bench::num(dram / rc, 2) + "x");

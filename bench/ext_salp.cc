@@ -64,8 +64,8 @@ runZippedScan(bool salp, const workload::TableSet &tables)
 
     const auto r = core::runPlans(config, plans);
     return Result{r.megacycles(),
-                  r.stats.get("mem.bufferConflicts") +
-                      r.stats.get("mem.orientationSwitches")};
+                  r.stats.at("mem.bufferConflicts") +
+                      r.stats.at("mem.orientationSwitches")};
 }
 
 } // namespace

@@ -46,6 +46,8 @@ main()
         mem::DeviceKind::RcNvm, mem::DeviceKind::Rram,
         mem::DeviceKind::Dram};
 
+    core::ArtifactWriter artifacts("fig17_micro");
+
     util::TablePrinter t(
         "Figure 17: micro-benchmarks, execution time (Mcycles)");
     t.addRow({"benchmark", "RC-NVM", "RRAM", "DRAM",
@@ -60,9 +62,13 @@ main()
               workload::MicroBench::ColRead,
               workload::MicroBench::ColWrite}) {
             std::vector<double> mcyc;
-            for (const auto kind : devices)
-                mcyc.push_back(
-                    runOne(kind, tables, mb, layout).megacycles());
+            for (const auto kind : devices) {
+                const auto r = runOne(kind, tables, mb, layout);
+                artifacts.record(std::string(toString(mb)) + suffix +
+                                     "." + mem::toString(kind),
+                                 r);
+                mcyc.push_back(r.megacycles());
+            }
             const double reduction =
                 100.0 * (1.0 - mcyc[0] / mcyc[2]);
             t.addRow({std::string(toString(mb)) + suffix,

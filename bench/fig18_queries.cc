@@ -20,6 +20,16 @@ main()
 {
     const auto rows = bench::runSqlSuite(bench::benchTuples());
 
+    core::ArtifactWriter artifacts("fig18_queries");
+    for (const auto &row : rows) {
+        for (std::size_t d = 0; d < row.byDevice.size(); ++d) {
+            artifacts.record(
+                std::string(workload::querySpec(row.id).name) + "." +
+                    mem::toString(bench::allDevices()[d]),
+                row.byDevice[d]);
+        }
+    }
+
     util::TablePrinter t(
         "Figure 18: SQL benchmark execution time (Mcycles)");
     t.addRow({"query", "RC-NVM", "RRAM", "GS-DRAM", "DRAM",

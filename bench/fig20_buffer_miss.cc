@@ -22,9 +22,9 @@ main()
     // per-query totals are normalised (we use DRAM = 100%); the raw
     // per-request rates are printed alongside.
     const auto misses = [](const core::ExperimentResult &r) {
-        return r.stats.get("mem.bufferMisses") +
-               r.stats.get("mem.bufferConflicts") +
-               r.stats.get("mem.orientationSwitches");
+        return r.stats.at("mem.bufferMisses") +
+               r.stats.at("mem.bufferConflicts") +
+               r.stats.at("mem.orientationSwitches");
     };
 
     util::TablePrinter t(

@@ -36,8 +36,8 @@ main()
         min_ratio = std::min(min_ratio, ratio);
         t.addRow({workload::querySpec(id).name,
                   bench::num(100.0 * ratio, 2) + "%",
-                  bench::num(r.stats.get("cache.synonymProbes"), 0),
-                  bench::num(r.stats.get("cache.synonymUpdates"),
+                  bench::num(r.stats.at("cache.synonymProbes"), 0),
+                  bench::num(r.stats.at("cache.synonymUpdates"),
                              0)});
     }
     t.print(std::cout);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bitfield.hh"
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 
 namespace rcnvm::cache {
@@ -321,6 +322,10 @@ Hierarchy::onFillComplete(unsigned mshr_idx)
         rcnvm_panic("fill completion for an unknown MSHR line");
     MshrEntry *entry = &mshrs_.at(mshr_idx);
     const LineKey key = entry->key;
+    RCNVM_TRACE_INSTANT("fill", util::ChromeTracer::kPidCache,
+                        entry->targets.empty() ? 0u
+                                               : entry->targets[0].core,
+                        eq_.now(), key.addr);
 
     bool any_write = false;
     unsigned demand_targets = 0;
@@ -414,6 +419,9 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         accesses_.inc();
         llcMisses_.inc();
         mshrCoalesced_.inc();
+        RCNVM_TRACE_INSTANT("mshr.coalesce",
+                            util::ChromeTracer::kPidCache, core,
+                            eq_.now(), key.addr);
         entry->targets.push_back(MshrTarget{core, word, a.isWrite,
                                             a.prefetchL3,
                                             std::move(done)});
@@ -442,11 +450,15 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
             wbBuffer_.size() >= config_.wbBufferDepth) {
             retries_.inc();
             ++pendingRetries_;
+            RCNVM_TRACE_INSTANT("retry", util::ChromeTracer::kPidCache,
+                                core, eq_.now(), key.addr);
             return false;
         }
         accesses_.inc();
         llcMisses_.inc();
         MshrEntry *entry = mshrs_.allocate(key);
+        RCNVM_TRACE_INSTANT("mshr.alloc", util::ChromeTracer::kPidCache,
+                            core, eq_.now(), key.addr);
         entry->targets.push_back(
             MshrTarget{core, word, false, true, std::move(done)});
         mem::MemPacket req;
@@ -565,12 +577,16 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
     if (mshrs_.full() || wbBuffer_.size() >= config_.wbBufferDepth) {
         retries_.inc();
         ++pendingRetries_;
+        RCNVM_TRACE_INSTANT("retry", util::ChromeTracer::kPidCache,
+                            core, eq_.now(), key.addr);
         return false;
     }
 
     accesses_.inc();
     llcMisses_.inc();
     MshrEntry *entry = mshrs_.allocate(key);
+    RCNVM_TRACE_INSTANT("mshr.alloc", util::ChromeTracer::kPidCache,
+                        core, eq_.now(), key.addr);
     entry->targets.push_back(MshrTarget{core, word, a.isWrite, false,
                                         std::move(done)});
 
@@ -605,42 +621,49 @@ Hierarchy::pinRange(Addr addr, Orientation orient, std::uint64_t bytes,
     return changed;
 }
 
+void
+Hierarchy::registerStats(util::StatRegistry &r) const
+{
+    r.addCounter("cache.accesses", accesses_);
+    r.addCounter("cache.l1Hits", l1Hits_);
+    r.addCounter("cache.l2Hits", l2Hits_);
+    r.addCounter("cache.l3Hits", l3Hits_);
+    r.addCounter("cache.llcMisses", llcMisses_);
+    r.addCounter("cache.writebacks", writebacks_);
+    r.addCounter("cache.bypasses", bypasses_);
+    r.addCounter("cache.mshrCoalesced", mshrCoalesced_);
+    r.addCounter("cache.retries", retries_);
+    r.addCounter("cache.wbForwards", wbForwards_);
+    r.addSampled("cache.mshrOccupancySamples", mshrs_.occupancy());
+    r.addFormula("cache.mshrOccupancy",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("cache.mshrOccupancySamples")
+                         .mean();
+                 });
+    r.addFormula("cache.maxMshrOccupancy",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("cache.mshrOccupancySamples")
+                         .max();
+                 });
+    r.addCounter("cache.synonymProbes", synonymProbes_);
+    r.addCounter("cache.crossingsFound", crossingsFound_);
+    r.addCounter("cache.synonymUpdates", synonymUpdates_);
+    r.addCounter("cache.synonymTicks", synonymTicks_);
+    r.addCounter("cache.cohRemoteFetches", cohRemoteFetches_);
+    r.addCounter("cache.cohInvalidations", cohInvalidations_);
+    r.addCounter("cache.cohTicks", cohTicks_);
+    r.addCounter("cache.pinOps", pinOps_);
+    r.addCounterFn("cache.pinnedEvictions", [this] {
+        return static_cast<double>(l3_->pinnedEvictions());
+    });
+}
+
 util::StatsMap
 Hierarchy::stats() const
 {
-    util::StatsMap out;
-    out.set("cache.accesses", static_cast<double>(accesses_.value()));
-    out.set("cache.l1Hits", static_cast<double>(l1Hits_.value()));
-    out.set("cache.l2Hits", static_cast<double>(l2Hits_.value()));
-    out.set("cache.l3Hits", static_cast<double>(l3Hits_.value()));
-    out.set("cache.llcMisses", static_cast<double>(llcMisses_.value()));
-    out.set("cache.writebacks",
-            static_cast<double>(writebacks_.value()));
-    out.set("cache.bypasses", static_cast<double>(bypasses_.value()));
-    out.set("cache.mshrCoalesced",
-            static_cast<double>(mshrCoalesced_.value()));
-    out.set("cache.retries", static_cast<double>(retries_.value()));
-    out.set("cache.wbForwards",
-            static_cast<double>(wbForwards_.value()));
-    out.set("cache.mshrOccupancy", mshrs_.occupancy().mean());
-    out.set("cache.maxMshrOccupancy", mshrs_.occupancy().max());
-    out.set("cache.synonymProbes",
-            static_cast<double>(synonymProbes_.value()));
-    out.set("cache.crossingsFound",
-            static_cast<double>(crossingsFound_.value()));
-    out.set("cache.synonymUpdates",
-            static_cast<double>(synonymUpdates_.value()));
-    out.set("cache.synonymTicks",
-            static_cast<double>(synonymTicks_.value()));
-    out.set("cache.cohRemoteFetches",
-            static_cast<double>(cohRemoteFetches_.value()));
-    out.set("cache.cohInvalidations",
-            static_cast<double>(cohInvalidations_.value()));
-    out.set("cache.cohTicks", static_cast<double>(cohTicks_.value()));
-    out.set("cache.pinOps", static_cast<double>(pinOps_.value()));
-    double pinned_evictions = static_cast<double>(l3_->pinnedEvictions());
-    out.set("cache.pinnedEvictions", pinned_evictions);
-    return out;
+    util::StatRegistry r;
+    registerStats(r);
+    return r.snapshot();
 }
 
 void

@@ -29,6 +29,7 @@
 #include "cache/synonym.hh"
 #include "mem/memory_system.hh"
 #include "sim/event_queue.hh"
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 #include "util/unique_function.hh"
@@ -117,8 +118,23 @@ class Hierarchy
     unsigned pinRange(Addr addr, Orientation orient,
                       std::uint64_t bytes, bool pinned);
 
-    /** Aggregate statistics. */
+    /**
+     * Register the hierarchy's statistics: raw counters plus the
+     * derived MSHR-occupancy mean/max as report-time formulas. The
+     * registry stores pointers into this object; it must not outlive
+     * the hierarchy.
+     */
+    void registerStats(util::StatRegistry &r) const;
+
+    /** Aggregate statistics (a snapshot of a registry built by
+     *  registerStats). */
     util::StatsMap stats() const;
+
+    /** MSHR slots currently allocated (epoch gauge). */
+    std::size_t mshrInUse() const { return mshrs_.inUse(); }
+
+    /** Demand misses past the LLC so far (epoch gauge). */
+    std::uint64_t llcMissCount() const { return llcMisses_.value(); }
 
     /** Drop all cache state and statistics. */
     void reset();

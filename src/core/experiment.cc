@@ -1,19 +1,50 @@
 #include "core/experiment.hh"
 
+#include <cstdlib>
+#include <fstream>
+
 #include "core/presets.hh"
+#include "util/stats_io.hh"
 
 namespace rcnvm::core {
+
+namespace {
+
+/** Apply the RCNVM_EPOCH_TICKS environment override: callers that
+ *  did not configure epoch sampling get it turned on externally
+ *  (e.g. by CI) without recompiling. */
+cpu::MachineConfig
+withEpochOverride(cpu::MachineConfig config)
+{
+    if (config.epochTicks == 0) {
+        if (const char *env = std::getenv("RCNVM_EPOCH_TICKS"))
+            config.epochTicks =
+                static_cast<Tick>(std::strtoull(env, nullptr, 10));
+    }
+    return config;
+}
+
+} // namespace
 
 ExperimentResult
 runCompiled(const cpu::MachineConfig &config,
             const workload::CompiledQuery &query)
 {
-    cpu::Machine machine(config);
+    cpu::Machine machine(withEpochOverride(config));
     ExperimentResult result;
     cpu::RunResult last;
     for (const auto &phase : query.phases) {
         last = machine.run(phase);
         result.ticks += last.ticks;
+        // Per-phase series chain into one continuous timeline.
+        if (result.series.names.empty())
+            result.series.names = last.series.names;
+        result.series.ticks.insert(result.series.ticks.end(),
+                                   last.series.ticks.begin(),
+                                   last.series.ticks.end());
+        result.series.rows.insert(result.series.rows.end(),
+                                  last.series.rows.begin(),
+                                  last.series.rows.end());
     }
     result.stats = last.stats; // counters accumulate across phases
     return result;
@@ -23,11 +54,12 @@ ExperimentResult
 runPlans(const cpu::MachineConfig &config,
          const std::vector<cpu::AccessPlan> &plans)
 {
-    cpu::Machine machine(config);
-    const cpu::RunResult run = machine.run(plans);
+    cpu::Machine machine(withEpochOverride(config));
+    cpu::RunResult run = machine.run(plans);
     ExperimentResult result;
     result.ticks = run.ticks;
     result.stats = run.stats;
+    result.series = std::move(run.series);
     return result;
 }
 
@@ -59,6 +91,61 @@ runMicro(mem::DeviceKind kind, const workload::TableSet &tables,
     const auto plans = workload::compileMicro(
         db, tid, mb, config.hierarchy.cores);
     return runPlans(config, plans);
+}
+
+ArtifactWriter::ArtifactWriter(std::string name)
+    : name_(std::move(name))
+{
+    if (const char *env = std::getenv("RCNVM_STATS_DIR"))
+        dir_ = env;
+}
+
+void
+ArtifactWriter::record(const std::string &label,
+                       const ExperimentResult &r)
+{
+    if (!enabled())
+        return;
+    runs_.push_back(Run{label, r.stats, r.ticks, r.series});
+}
+
+void
+ArtifactWriter::record(const std::string &label,
+                       const util::StatsMap &stats, Tick ticks)
+{
+    if (!enabled())
+        return;
+    runs_.push_back(Run{label, stats, ticks, {}});
+}
+
+ArtifactWriter::~ArtifactWriter()
+{
+    if (!enabled() || runs_.empty())
+        return;
+
+    std::ofstream json(dir_ + "/" + name_ + ".json");
+    json << "{\"schema\": \"rcnvm-stats-artifact-v1\", \"bench\": \""
+         << util::jsonEscape(name_) << "\", \"runs\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        if (i)
+            json << ", ";
+        util::writeStatsJson(json, runs_[i].stats, runs_[i].label,
+                             runs_[i].ticks);
+    }
+    json << "]}\n";
+
+    std::ofstream csv(dir_ + "/" + name_ + ".csv");
+    csv << "label,stat,value\n";
+    for (const Run &r : runs_)
+        util::writeStatsCsv(csv, r.stats, r.label);
+
+    for (const Run &r : runs_) {
+        if (r.series.empty())
+            continue;
+        std::ofstream epochs(dir_ + "/" + name_ + "." + r.label +
+                             ".epochs.csv");
+        r.series.writeCsv(epochs);
+    }
 }
 
 } // namespace rcnvm::core

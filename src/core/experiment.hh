@@ -9,6 +9,7 @@
 #define RCNVM_CORE_EXPERIMENT_HH_
 
 #include <string>
+#include <vector>
 
 #include "cpu/machine.hh"
 #include "workload/micro.hh"
@@ -20,6 +21,9 @@ namespace rcnvm::core {
 struct ExperimentResult {
     Tick ticks = 0;
     util::StatsMap stats;
+    /** Per-epoch time series; empty unless epoch sampling was on
+     *  (MachineConfig::epochTicks or RCNVM_EPOCH_TICKS). */
+    sim::EpochSeries series;
 
     double cycles() const { return static_cast<double>(ticks) / 500.0; }
     double megacycles() const { return cycles() / 1.0e6; }
@@ -92,6 +96,49 @@ ExperimentResult runMicro(mem::DeviceKind kind,
                           const workload::TableSet &tables,
                           workload::MicroBench mb,
                           imdb::ChunkLayout layout);
+
+/**
+ * Collects labeled runs and writes them as machine-readable
+ * artifacts when the RCNVM_STATS_DIR environment variable names a
+ * directory: `<dir>/<name>.json` (schema rcnvm-stats-artifact-v1, a
+ * "runs" array of per-run rcnvm-stats-v1 objects) and
+ * `<dir>/<name>.csv` (`label,stat,value` rows). With the variable
+ * unset every call is a no-op, so benches wire it unconditionally.
+ * Files are written by the destructor; non-epoch-empty series are
+ * exported alongside as `<dir>/<name>.<label>.epochs.csv`.
+ */
+class ArtifactWriter
+{
+  public:
+    explicit ArtifactWriter(std::string name);
+    ~ArtifactWriter();
+
+    ArtifactWriter(const ArtifactWriter &) = delete;
+    ArtifactWriter &operator=(const ArtifactWriter &) = delete;
+
+    /** True when RCNVM_STATS_DIR is set (artifacts will be written). */
+    bool enabled() const { return !dir_.empty(); }
+
+    /** Record one labeled run. */
+    void record(const std::string &label, const ExperimentResult &r);
+
+    /** Record a bare stats map (callers without an
+     *  ExperimentResult, e.g. raw machine runs). */
+    void record(const std::string &label, const util::StatsMap &stats,
+                Tick ticks = 0);
+
+  private:
+    struct Run {
+        std::string label;
+        util::StatsMap stats;
+        Tick ticks = 0;
+        sim::EpochSeries series;
+    };
+
+    std::string name_;
+    std::string dir_; //!< empty = disabled
+    std::vector<Run> runs_;
+};
 
 } // namespace rcnvm::core
 

@@ -1,5 +1,6 @@
 #include "cpu/core.hh"
 
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 
 namespace rcnvm::cpu {
@@ -132,8 +133,27 @@ Core::advance()
             // Completion is always delivered through the event queue
             // (never synchronously from inside access), so the
             // post-acceptance bookkeeping below cannot race it.
-            if (!hierarchy_.access(id_, access,
-                                   [this](Tick) { onAccessDone(); })) {
+            bool accepted;
+#if RCNVM_PACKET_TRACE
+            if (util::ChromeTracer::active()) {
+                // Traced path only: the issue tick and address ride
+                // in the continuation, so the untraced continuation
+                // stays as small as before.
+                accepted = hierarchy_.access(
+                    id_, access,
+                    [this, addr = op.addr, t0 = now](Tick t) {
+                        RCNVM_TRACE_COMPLETE(
+                            "memop", util::ChromeTracer::kPidCpu, id_,
+                            t0, t - t0, addr);
+                        onAccessDone();
+                    });
+            } else
+#endif
+            {
+                accepted = hierarchy_.access(
+                    id_, access, [this](Tick) { onAccessDone(); });
+            }
+            if (!accepted) {
                 retries_.inc();
                 if (!stalledRetry_) {
                     stalledRetry_ = true;

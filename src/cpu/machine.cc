@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <string>
 
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 
 namespace rcnvm::cpu {
 
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
+    // Tracing attaches at machine construction so every component's
+    // probes see a consistent enabled/disabled state for the run.
+    util::ChromeTracer::enableFromEnv();
+
     const mem::TimingParams timing =
         config_.timing ? *config_.timing
                        : mem::timingFor(config_.device);
@@ -20,6 +25,42 @@ Machine::Machine(const MachineConfig &config) : config_(config)
     for (unsigned c = 0; c < config_.hierarchy.cores; ++c) {
         cores_.push_back(std::make_unique<Core>(c, eq_, *hierarchy_,
                                                 config_.window));
+    }
+
+    hierarchy_->registerStats(registry_);
+    memory_->registerStats(registry_);
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        const Core *core = cores_[c].get();
+        registry_.addCounterFn("cpu.memOps", [core] {
+            return static_cast<double>(core->memOps());
+        });
+        registry_.addCounterFn("cpu.stallTicks", [core] {
+            return static_cast<double>(core->stallTicks());
+        });
+        registry_.addCounterFn("cpu.retries", [core] {
+            return static_cast<double>(core->retries());
+        });
+        registry_.addCounterFn("cpu.retryStallTicks", [core] {
+            return static_cast<double>(core->retryStallTicks());
+        });
+        registry_.addGauge(
+            "cpu.core" + std::to_string(c) + ".retryStallTicks",
+            [core] {
+                return static_cast<double>(core->retryStallTicks());
+            });
+    }
+
+    if (config_.epochTicks > 0) {
+        sampler_ = std::make_unique<sim::EpochSampler>(eq_);
+        sampler_->addGauge("mem.queued", [this] {
+            return static_cast<double>(memory_->queuedTotal());
+        });
+        sampler_->addGauge("cache.mshrUsed", [this] {
+            return static_cast<double>(hierarchy_->mshrInUse());
+        });
+        sampler_->addGauge("cache.llcMisses", [this] {
+            return static_cast<double>(hierarchy_->llcMissCount());
+        });
     }
 }
 
@@ -44,32 +85,27 @@ Machine::run(const std::vector<AccessPlan> &plans)
         });
     }
 
+    if (sampler_)
+        sampler_->start(config_.epochTicks);
+
     eq_.run();
 
     if (running != 0)
         rcnvm_panic("simulation deadlock: ", running,
                     " cores never finished");
 
+    // One snapshot of the shared registry replaces the old per-layer
+    // StatsMap merge: derived values are formulas evaluated here,
+    // over fully aggregated inputs, so nothing non-additive is ever
+    // pushed through StatsMap::merge.
     RunResult result;
     result.ticks = latest - start;
-    result.stats = hierarchy_->stats();
-    result.stats.merge(memory_->stats());
-    double mem_ops = 0, stall = 0, retries = 0, retry_stall = 0;
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-        const Core &core = *cores_[c];
-        mem_ops += static_cast<double>(core.memOps());
-        stall += static_cast<double>(core.stallTicks());
-        retries += static_cast<double>(core.retries());
-        retry_stall += static_cast<double>(core.retryStallTicks());
-        result.stats.set("cpu.core" + std::to_string(c) +
-                             ".retryStallTicks",
-                         static_cast<double>(core.retryStallTicks()));
-    }
-    result.stats.set("cpu.memOps", mem_ops);
-    result.stats.set("cpu.stallTicks", stall);
-    result.stats.set("cpu.retries", retries);
-    result.stats.set("cpu.retryStallTicks", retry_stall);
+    result.stats = registry_.snapshot();
     result.stats.set("run.ticks", static_cast<double>(result.ticks));
+    if (sampler_) {
+        result.series = sampler_->series();
+        sampler_->clear();
+    }
     return result;
 }
 

@@ -15,7 +15,9 @@
 #include "cpu/core.hh"
 #include "cpu/mem_op.hh"
 #include "mem/memory_system.hh"
+#include "sim/epoch_sampler.hh"
 #include "sim/event_queue.hh"
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 
 namespace rcnvm::cpu {
@@ -29,12 +31,16 @@ struct MachineConfig {
     unsigned window = 8; //!< outstanding accesses per core
     bool salp = false;   //!< subarray-level parallelism extension
     unsigned memQueueCapacity = 32; //!< per-channel queue depth
+    /** Epoch-sample period in ticks; 0 disables the time series. */
+    Tick epochTicks = 0;
 };
 
 /** Result of one simulation run. */
 struct RunResult {
     Tick ticks = 0; //!< wall-clock of the slowest core
     util::StatsMap stats;
+    /** Per-epoch time series (empty unless epochTicks was set). */
+    sim::EpochSeries series;
 
     /** Execution time in CPU cycles (2 GHz). */
     double cycles() const { return static_cast<double>(ticks) / 500.0; }
@@ -80,12 +86,22 @@ class Machine
     /** Access to the memory system (tests and advanced callers). */
     mem::MemorySystem &memory() { return *memory_; }
 
+    /** The machine-wide statistics registry (tests and reports).
+     *  run() snapshots it; callers may read it mid-run too. */
+    const util::StatRegistry &registry() const { return registry_; }
+
   private:
     MachineConfig config_;
     sim::EventQueue eq_;
     std::unique_ptr<mem::MemorySystem> memory_;
     std::unique_ptr<cache::Hierarchy> hierarchy_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /** Holds pointers into the components above; members are
+     *  destroyed in reverse declaration order, so it must stay
+     *  declared after them (it never dereferences at destruction,
+     *  but the ordering keeps the invariant obvious). */
+    util::StatRegistry registry_;
+    std::unique_ptr<sim::EpochSampler> sampler_;
 };
 
 } // namespace rcnvm::cpu

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 
 namespace rcnvm::mem {
@@ -15,11 +16,12 @@ ChannelController::ChannelController(const AddressMap &map,
                                      const TimingParams &timing,
                                      sim::EventQueue &eq,
                                      unsigned queue_capacity,
-                                     bool salp)
+                                     bool salp, unsigned channel_id)
     : map_(map),
       timing_(timing),
       eq_(eq),
       capacity_(queue_capacity),
+      channelId_(channel_id),
       statsSince_(eq.now())
 {
     const Geometry &g = map_.geometry();
@@ -184,8 +186,16 @@ ChannelController::issueFrom(unsigned b, std::size_t pos)
         (hit ? stats_.colBufferHits : stats_.colBufferMisses).inc();
     stats_.queueWaitTicks.sample(
         static_cast<double>(s.start - p.enqueueTick));
+    stats_.queueWaitHist.sample(s.start - p.enqueueTick);
     stats_.serviceTicks.sample(
         static_cast<double>(s.finish - s.start));
+    RCNVM_TRACE_COMPLETE("queue",
+                         util::ChromeTracer::kPidMemBase + channelId_,
+                         b, p.enqueueTick, s.start - p.enqueueTick,
+                         p.req.addr);
+    RCNVM_TRACE_COMPLETE("service",
+                         util::ChromeTracer::kPidMemBase + channelId_,
+                         b, s.start, s.finish - s.start, p.req.addr);
     // A gathered transfer holds the bus for two burst slots.
     stats_.busBusyTicks.inc(timing_.cyc(timing_.tBURST) *
                             (p.req.gathered ? 2u : 1u));

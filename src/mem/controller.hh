@@ -40,6 +40,7 @@ struct ControllerStats {
     util::Counter colBufferHits;
     util::Counter colBufferMisses;
     util::Sampled queueWaitTicks;
+    util::Log2Histogram queueWaitHist; //!< log2 buckets of wait ticks
     util::Sampled serviceTicks;
     util::Sampled bankQueueDepth; //!< target bank's depth at enqueue
     util::Sampled queueOccupancy; //!< total queued after each enqueue
@@ -71,10 +72,11 @@ class ChannelController
      * @param queue_capacity  request-queue depth (Table 1: 32)
      * @param salp     give each subarray its own buffer pair
      *                 (subarray-level-parallelism extension)
+     * @param channel_id  channel number (trace-event attribution)
      */
     ChannelController(const AddressMap &map, const TimingParams &timing,
                       sim::EventQueue &eq, unsigned queue_capacity = 32,
-                      bool salp = false);
+                      bool salp = false, unsigned channel_id = 0);
 
     /** True when the request queue has room. */
     bool canAccept() const { return totalQueued_ < capacity_; }
@@ -167,6 +169,7 @@ class ChannelController
     TimingParams timing_;
     sim::EventQueue &eq_;
     unsigned capacity_;
+    unsigned channelId_;
     std::vector<Bank> banks_;
     std::vector<BankQueue> bankQueues_;
     std::vector<unsigned> activeBanks_; //!< banks with pending work

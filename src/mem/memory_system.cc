@@ -34,7 +34,7 @@ MemorySystem::MemorySystem(DeviceKind kind, sim::EventQueue &eq,
 {
     for (unsigned c = 0; c < map_.geometry().channels; ++c) {
         channels_.push_back(std::make_unique<ChannelController>(
-            map_, timing, eq_, queue_capacity, salp));
+            map_, timing, eq_, queue_capacity, salp, c));
     }
 }
 
@@ -97,68 +97,102 @@ MemorySystem::setRetryCallback(std::function<void()> cb)
         ch->setSpaceCallback(cb);
 }
 
+void
+MemorySystem::registerStats(util::StatRegistry &r) const
+{
+    for (const auto &ch : channels_) {
+        const ControllerStats &s = ch->stats();
+        r.addCounter("mem.reads", s.reads);
+        r.addCounter("mem.writes", s.writes);
+        r.addCounter("mem.gathered", s.gathered);
+        r.addCounter("mem.rowAccesses", s.rowAccesses);
+        r.addCounter("mem.colAccesses", s.colAccesses);
+        r.addCounter("mem.bufferHits", s.bufferHits);
+        r.addCounter("mem.bufferMisses", s.bufferMisses);
+        r.addCounter("mem.bufferConflicts", s.bufferConflicts);
+        r.addCounter("mem.orientationSwitches",
+                     s.orientationSwitches);
+        r.addCounter("mem.rowBufferHits", s.rowBufferHits);
+        r.addCounter("mem.rowBufferMisses", s.rowBufferMisses);
+        r.addCounter("mem.colBufferHits", s.colBufferHits);
+        r.addCounter("mem.colBufferMisses", s.colBufferMisses);
+        r.addCounter("mem.busBusyTicks", s.busBusyTicks);
+        r.addCounter("mem.wakeups", s.wakeups);
+        r.addValue("mem.energyPJ", s.energyPJ);
+        r.addSampled("mem.queueWaitTicks", s.queueWaitTicks);
+        r.addSampled("mem.serviceTicks", s.serviceTicks);
+        r.addSampled("mem.bankQueueDepth", s.bankQueueDepth);
+        r.addSampled("mem.queueOccupancy", s.queueOccupancy);
+        r.addHistogram("mem.queueWaitHist", s.queueWaitHist);
+    }
+    r.addCounter("mem.rejectedIssues", rejectedIssues_);
+
+    // Derived statistics are report-time formulas over the merged
+    // per-channel inputs: they exist only as Scalar snapshot entries
+    // and can never be corrupted by a downstream additive merge.
+    r.addFormula("mem.requests", [](const util::StatRegistry &g) {
+        return g.counter("mem.reads") + g.counter("mem.writes");
+    });
+    r.addFormula("mem.avgQueueWaitTicks",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("mem.queueWaitTicks").mean();
+                 });
+    r.addFormula("mem.avgServiceTicks",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("mem.serviceTicks").mean();
+                 });
+    r.addFormula("mem.avgBankQueueDepth",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("mem.bankQueueDepth").mean();
+                 });
+    r.addFormula("mem.maxBankQueueDepth",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("mem.bankQueueDepth").max();
+                 });
+    r.addFormula("mem.avgQueueOccupancy",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("mem.queueOccupancy").mean();
+                 });
+    r.addFormula("mem.maxQueueOccupancy",
+                 [](const util::StatRegistry &g) {
+                     return g.sampled("mem.queueOccupancy").max();
+                 });
+    // Fraction of the statistics window the channel data buses spent
+    // transferring (gathered lines hold the bus for two slots).
+    r.addFormula("mem.busUtilization",
+                 [this](const util::StatRegistry &g) {
+                     double elapsed = 0;
+                     for (const auto &ch : channels_)
+                         elapsed += static_cast<double>(
+                             ch->statsElapsed());
+                     return elapsed > 0
+                                ? g.counter("mem.busBusyTicks") /
+                                      elapsed
+                                : 0.0;
+                 });
+    r.addFormula("mem.bufferMissRate",
+                 [](const util::StatRegistry &g) {
+                     const double hits = g.counter("mem.bufferHits");
+                     const double total = g.value("mem.requests");
+                     return total > 0 ? 1.0 - hits / total : 0.0;
+                 });
+}
+
 util::StatsMap
 MemorySystem::stats() const
 {
-    util::StatsMap out;
-    util::Sampled wait, service, bank_depth, occupancy;
-    double elapsed = 0;
-    for (const auto &ch : channels_) {
-        const ControllerStats &s = ch->stats();
-        out.add("mem.reads", static_cast<double>(s.reads.value()));
-        out.add("mem.writes", static_cast<double>(s.writes.value()));
-        out.add("mem.gathered",
-                static_cast<double>(s.gathered.value()));
-        out.add("mem.rowAccesses",
-                static_cast<double>(s.rowAccesses.value()));
-        out.add("mem.colAccesses",
-                static_cast<double>(s.colAccesses.value()));
-        out.add("mem.bufferHits",
-                static_cast<double>(s.bufferHits.value()));
-        out.add("mem.bufferMisses",
-                static_cast<double>(s.bufferMisses.value()));
-        out.add("mem.bufferConflicts",
-                static_cast<double>(s.bufferConflicts.value()));
-        out.add("mem.orientationSwitches",
-                static_cast<double>(s.orientationSwitches.value()));
-        out.add("mem.rowBufferHits",
-                static_cast<double>(s.rowBufferHits.value()));
-        out.add("mem.rowBufferMisses",
-                static_cast<double>(s.rowBufferMisses.value()));
-        out.add("mem.colBufferHits",
-                static_cast<double>(s.colBufferHits.value()));
-        out.add("mem.colBufferMisses",
-                static_cast<double>(s.colBufferMisses.value()));
-        out.add("mem.busBusyTicks",
-                static_cast<double>(s.busBusyTicks.value()));
-        out.add("mem.wakeups",
-                static_cast<double>(s.wakeups.value()));
-        out.add("mem.energyPJ", s.energyPJ);
-        wait.merge(s.queueWaitTicks);
-        service.merge(s.serviceTicks);
-        bank_depth.merge(s.bankQueueDepth);
-        occupancy.merge(s.queueOccupancy);
-        elapsed += static_cast<double>(ch->statsElapsed());
-    }
-    out.set("mem.requests",
-            out.get("mem.reads") + out.get("mem.writes"));
-    out.set("mem.rejectedIssues",
-            static_cast<double>(rejectedIssues_.value()));
-    out.set("mem.avgQueueWaitTicks", wait.mean());
-    out.set("mem.avgServiceTicks", service.mean());
-    out.set("mem.avgBankQueueDepth", bank_depth.mean());
-    out.set("mem.maxBankQueueDepth", bank_depth.max());
-    out.set("mem.avgQueueOccupancy", occupancy.mean());
-    out.set("mem.maxQueueOccupancy", occupancy.max());
-    // Fraction of the statistics window the channel data buses spent
-    // transferring (gathered lines hold the bus for two slots).
-    out.set("mem.busUtilization",
-            elapsed > 0 ? out.get("mem.busBusyTicks") / elapsed : 0.0);
-    const double hits = out.get("mem.bufferHits");
-    const double total = out.get("mem.requests");
-    out.set("mem.bufferMissRate",
-            total > 0 ? 1.0 - hits / total : 0.0);
-    return out;
+    util::StatRegistry r;
+    registerStats(r);
+    return r.snapshot();
+}
+
+std::size_t
+MemorySystem::queuedTotal() const
+{
+    std::size_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->queued();
+    return n;
 }
 
 void

@@ -16,6 +16,7 @@
 #include "mem/request.hh"
 #include "mem/timing.hh"
 #include "sim/event_queue.hh"
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 
 namespace rcnvm::mem {
@@ -82,8 +83,25 @@ class MemorySystem
      */
     void setRetryCallback(std::function<void()> cb);
 
-    /** Aggregate statistics over all channels. */
+    /**
+     * Register this memory system's statistics: per-channel counters
+     * and sample sets under shared names (the registry aggregates
+     * them), and the derived statistics — `mem.requests`, the
+     * avg/max family, `mem.busUtilization`, `mem.bufferMissRate` —
+     * as report-time formulas so they are computed from fully merged
+     * inputs and can never be re-merged downstream.
+     *
+     * The registry stores pointers into this object; it must not
+     * outlive the memory system.
+     */
+    void registerStats(util::StatRegistry &r) const;
+
+    /** Aggregate statistics over all channels (a snapshot of a
+     *  registry built by registerStats). */
     util::StatsMap stats() const;
+
+    /** Requests queued across all channels right now (epoch gauge). */
+    std::size_t queuedTotal() const;
 
     /** Reset controllers, banks, and statistics. */
     void reset();

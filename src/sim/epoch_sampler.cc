@@ -1,0 +1,83 @@
+#include "sim/epoch_sampler.hh"
+
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/stats_io.hh"
+
+namespace rcnvm::sim {
+
+void
+EpochSeries::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const auto &n : names)
+        os << "," << n;
+    os << "\n";
+    for (std::size_t i = 0; i < ticks.size(); ++i) {
+        os << ticks[i];
+        for (const double v : rows[i])
+            os << "," << v;
+        os << "\n";
+    }
+}
+
+void
+EpochSeries::writeJson(std::ostream &os) const
+{
+    os << "{\"names\":[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        os << (i ? "," : "") << "\""
+           << util::jsonEscape(names[i]) << "\"";
+    }
+    os << "],\"ticks\":[";
+    for (std::size_t i = 0; i < ticks.size(); ++i)
+        os << (i ? "," : "") << ticks[i];
+    os << "],\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << (i ? "," : "") << "[";
+        for (std::size_t j = 0; j < rows[i].size(); ++j)
+            os << (j ? "," : "") << rows[i][j];
+        os << "]";
+    }
+    os << "]}";
+}
+
+void
+EpochSampler::start(Tick epoch)
+{
+    if (epoch == 0)
+        rcnvm_panic("epoch sampling period must be non-zero");
+    if (running_)
+        return;
+    epoch_ = epoch;
+    running_ = true;
+    eq_.scheduleAfter(epoch_, [this] { fire(); });
+}
+
+void
+EpochSampler::sampleRow()
+{
+    series_.ticks.push_back(eq_.now());
+    std::vector<double> row;
+    row.reserve(gauges_.size());
+    for (const auto &g : gauges_)
+        row.push_back(g());
+    series_.rows.push_back(std::move(row));
+}
+
+void
+EpochSampler::fire()
+{
+    sampleRow();
+    // Reschedule only while the simulation has other work: when this
+    // event is the only one left, the run is over and rescheduling
+    // would keep the event loop alive forever.
+    if (eq_.pending() > 0) {
+        eq_.scheduleAfter(epoch_, [this] { fire(); });
+    } else {
+        running_ = false;
+    }
+}
+
+} // namespace rcnvm::sim

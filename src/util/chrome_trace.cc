@@ -1,0 +1,100 @@
+#include "util/chrome_trace.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace rcnvm::util {
+
+ChromeTracer *ChromeTracer::active_ = nullptr;
+bool ChromeTracer::envChecked_ = false;
+
+void
+ChromeTracer::enable(const std::string &path)
+{
+#if !RCNVM_PACKET_TRACE
+    warn("packet tracing was compiled out (RCNVM_PACKET_TRACE=OFF); "
+         "ignoring trace request for ", path);
+    (void)path;
+#else
+    disable();
+    active_ = new ChromeTracer(path);
+    // Belt and braces: a bench that exits through main() without an
+    // explicit disable() still gets its trace written.
+    static bool atexit_registered = false;
+    if (!atexit_registered) {
+        atexit_registered = true;
+        std::atexit([] { ChromeTracer::disable(); });
+    }
+#endif
+}
+
+void
+ChromeTracer::enableFromEnv()
+{
+    if (envChecked_)
+        return;
+    envChecked_ = true;
+    if (const char *path = std::getenv("RCNVM_CHROME_TRACE")) {
+        if (path[0] != '\0')
+            enable(path);
+    }
+}
+
+void
+ChromeTracer::disable()
+{
+    if (!active_)
+        return;
+    active_->write();
+    delete active_;
+    active_ = nullptr;
+}
+
+void
+ChromeTracer::write() const
+{
+    std::ofstream os(path_);
+    if (!os) {
+        warn("cannot write chrome trace to ", path_);
+        return;
+    }
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto emitMeta = [&](unsigned pid, const std::string &name) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+    };
+    emitMeta(kPidCpu, "cpu");
+    emitMeta(kPidCache, "cache");
+    // Channels present in the trace get labels lazily.
+    unsigned max_mem_pid = 0;
+    for (const Event &e : events_) {
+        if (e.pid >= kPidMemBase && e.pid > max_mem_pid)
+            max_mem_pid = e.pid;
+    }
+    for (unsigned pid = kPidMemBase; pid <= max_mem_pid; ++pid)
+        emitMeta(pid, "mem.ch" + std::to_string(pid - kPidMemBase));
+
+    os.precision(6);
+    os << std::fixed;
+    for (const Event &e : events_) {
+        os << ",{\"ph\":\"" << e.ph << "\",\"name\":\"" << e.name
+           << "\",\"cat\":\"pkt\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid
+           << ",\"ts\":" << static_cast<double>(e.ts) / 1e6;
+        if (e.ph == 'X')
+            os << ",\"dur\":" << static_cast<double>(e.dur) / 1e6;
+        if (e.ph == 'i')
+            os << ",\"s\":\"t\"";
+        os << ",\"args\":{\"addr\":" << e.addr << "}}";
+    }
+    os << "]}";
+    inform("wrote ", events_.size(), " trace events to ", path_);
+}
+
+} // namespace rcnvm::util

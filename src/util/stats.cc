@@ -1,5 +1,7 @@
 #include "util/stats.hh"
 
+#include <stdexcept>
+
 namespace rcnvm::util {
 
 void
@@ -15,23 +17,52 @@ Sampled::merge(const Sampled &other)
     count_ += other.count_;
 }
 
+unsigned
+Log2Histogram::usedBuckets() const
+{
+    for (unsigned i = kBuckets; i > 0; --i) {
+        if (buckets_[i - 1] != 0)
+            return i;
+    }
+    return 0;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+}
+
 void
 StatsMap::set(const std::string &name, double value)
 {
-    entries_[name] = value;
+    entries_[name] = StatEntry{value, StatKind::Scalar};
 }
 
 void
 StatsMap::add(const std::string &name, double value)
 {
-    entries_[name] += value;
+    StatEntry &e = entries_[name];
+    e.kind = StatKind::Additive;
+    e.value += value;
 }
 
 double
 StatsMap::get(const std::string &name, double fallback) const
 {
     auto it = entries_.find(name);
-    return it == entries_.end() ? fallback : it->second;
+    return it == entries_.end() ? fallback : it->second.value;
+}
+
+double
+StatsMap::at(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw std::out_of_range("unknown statistic: " + name);
+    return it->second.value;
 }
 
 bool
@@ -40,11 +71,31 @@ StatsMap::contains(const std::string &name) const
     return entries_.find(name) != entries_.end();
 }
 
+StatKind
+StatsMap::kindOf(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? StatKind::Scalar : it->second.kind;
+}
+
 void
 StatsMap::merge(const StatsMap &other)
 {
-    for (const auto &[name, value] : other.entries_)
-        entries_[name] += value;
+    for (const auto &[name, e] : other.entries_) {
+        auto [it, inserted] = entries_.emplace(name, e);
+        if (inserted)
+            continue;
+        StatEntry &mine = it->second;
+        if (mine.kind == StatKind::Additive &&
+            e.kind == StatKind::Additive) {
+            mine.value += e.value;
+        } else {
+            // A derived value (ratio, mean, maximum) cannot be
+            // summed; the incoming map is the newer snapshot, so its
+            // value wins.
+            mine = e;
+        }
+    }
 }
 
 } // namespace rcnvm::util

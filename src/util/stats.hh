@@ -1,12 +1,14 @@
 /**
  * @file
- * Lightweight statistics primitives: counters, scalar values, and a
- * named registry so components can export their statistics to reports.
+ * Lightweight statistics primitives: counters, scalar values,
+ * sampled moments, log2-bucket histograms, and a named map so
+ * components can export their statistics to reports.
  */
 
 #ifndef RCNVM_UTIL_STATS_HH_
 #define RCNVM_UTIL_STATS_HH_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -75,39 +77,135 @@ class Sampled
 };
 
 /**
+ * A power-of-two-bucket histogram of a non-negative integer quantity
+ * (latencies in ticks, queue depths). Bucket 0 counts zero-valued
+ * samples; bucket i >= 1 counts samples in [2^(i-1), 2^i). The
+ * bucketing is exact at the boundaries: 1 lands in bucket 1, 2 in
+ * bucket 2, 3 in bucket 2, 4 in bucket 3.
+ */
+class Log2Histogram
+{
+  public:
+    /** Bucket 0 (zero) plus one bucket per bit of a 64-bit value. */
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index @p v falls into. */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        if (v == 0)
+            return 0;
+        unsigned b = 1;
+        while (v >>= 1)
+            ++b;
+        return b;
+    }
+
+    /** Smallest value bucket @p i accepts (its left edge). */
+    static std::uint64_t
+    bucketLow(unsigned i)
+    {
+        return i <= 1 ? i : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Samples in bucket @p i. */
+    std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
+
+    /** Highest non-empty bucket index plus one (0 when empty). */
+    unsigned usedBuckets() const;
+
+    /** Element-wise accumulation of another histogram. */
+    void merge(const Log2Histogram &other);
+
+    /** Drop all samples. */
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+};
+
+/** How a statistic combines when two maps are merged. */
+enum class StatKind : std::uint8_t {
+    Additive, //!< raw event counts: merge by summation
+    Scalar,   //!< derived values (ratios, means, maxima): last wins
+};
+
+/** One named statistic: its value and its merge behaviour. */
+struct StatEntry {
+    double value = 0.0;
+    StatKind kind = StatKind::Scalar;
+};
+
+/**
  * A flat name → value map of statistics produced by one simulation.
  *
  * Components contribute entries via set()/add(); reports read them
- * back with get(). Missing names read as zero so report code stays
- * simple when a device lacks some statistic (e.g. DRAM has no column
- * buffer).
+ * back with get() (lenient; absent names read as zero so report code
+ * stays simple when a device lacks some statistic) or at() (strict;
+ * throws on unknown names so tables cannot silently print zeros for
+ * typos).
+ *
+ * Every entry carries a StatKind: add() produces Additive entries
+ * (raw event counts), set() produces Scalar entries (derived values
+ * that must never be summed). merge() respects the kinds — see
+ * merge() for the exact collision rules.
  */
 class StatsMap
 {
   public:
-    /** Set (overwrite) a statistic. */
+    /** Set (overwrite) a derived statistic; the entry is Scalar. */
     void set(const std::string &name, double value);
 
-    /** Accumulate into a statistic (creates it at zero). */
+    /** Accumulate into a raw-count statistic (creates it at zero);
+     *  the entry is Additive. */
     void add(const std::string &name, double value);
 
     /** Read a statistic; absent names yield @p fallback. */
     double get(const std::string &name, double fallback = 0.0) const;
 
+    /** Strict read: throws std::out_of_range on unknown names. */
+    double at(const std::string &name) const;
+
     /** True when the statistic exists. */
     bool contains(const std::string &name) const;
 
+    /** Merge kind of @p name (Scalar when absent). */
+    StatKind kindOf(const std::string &name) const;
+
     /** All entries in name order. */
-    const std::map<std::string, double> &entries() const
+    const std::map<std::string, StatEntry> &entries() const
     {
         return entries_;
     }
 
-    /** Merge another map into this one, summing shared names. */
+    /**
+     * Merge another map into this one. Collisions on shared names
+     * are typed: two Additive entries sum; when either side is
+     * Scalar the other map's value wins (last-writer-wins), so
+     * non-additive statistics — utilizations, averages, maxima —
+     * are never corrupted by summation.
+     */
     void merge(const StatsMap &other);
 
   private:
-    std::map<std::string, double> entries_;
+    std::map<std::string, StatEntry> entries_;
 };
 
 } // namespace rcnvm::util

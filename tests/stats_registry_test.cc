@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for the observability subsystem: the typed statistics
+ * registry, epoch sampling, JSON/CSV export round-trips, and the
+ * chrome-trace tracer's output format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/epoch_sampler.hh"
+#include "sim/event_queue.hh"
+#include "util/chrome_trace.hh"
+#include "util/stat_registry.hh"
+#include "util/stats.hh"
+#include "util/stats_io.hh"
+
+namespace rcnvm::util {
+namespace {
+
+TEST(StatRegistry, MultiSourceCountersSum)
+{
+    Counter a, b;
+    a.inc(3);
+    b.inc(4);
+    StatRegistry r;
+    r.addCounter("mem.reads", a); // e.g. channel 0
+    r.addCounter("mem.reads", b); // e.g. channel 1
+    EXPECT_DOUBLE_EQ(r.counter("mem.reads"), 7.0);
+
+    const StatsMap snap = r.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("mem.reads"), 7.0);
+    EXPECT_EQ(snap.kindOf("mem.reads"), StatKind::Additive);
+}
+
+TEST(StatRegistry, SampledSourcesMomentMerge)
+{
+    Sampled s0, s1;
+    s0.sample(1.0);
+    s0.sample(3.0);
+    s1.sample(5.0);
+    StatRegistry r;
+    r.addSampled("wait", s0);
+    r.addSampled("wait", s1);
+    const Sampled merged = r.sampled("wait");
+    EXPECT_EQ(merged.count(), 3u);
+    EXPECT_DOUBLE_EQ(merged.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(merged.max(), 5.0);
+
+    const StatsMap snap = r.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("wait.count"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.at("wait.mean"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.at("wait.min"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.at("wait.max"), 5.0);
+    EXPECT_EQ(snap.kindOf("wait.mean"), StatKind::Scalar);
+}
+
+TEST(StatRegistry, HistogramSourcesBucketMerge)
+{
+    Log2Histogram h0, h1;
+    h0.sample(1);
+    h1.sample(1);
+    h1.sample(8);
+    StatRegistry r;
+    r.addHistogram("hist", h0);
+    r.addHistogram("hist", h1);
+    const Log2Histogram merged = r.histogram("hist");
+    EXPECT_EQ(merged.count(), 3u);
+    EXPECT_EQ(merged.bucket(1), 2u);
+
+    const StatsMap snap = r.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("hist.samples"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.at("hist.b1"), 2.0);
+    EXPECT_DOUBLE_EQ(snap.at("hist.b4"), 1.0);
+    EXPECT_EQ(snap.kindOf("hist.samples"), StatKind::Additive);
+}
+
+TEST(StatRegistry, FormulasEvaluateOverAggregatedInputs)
+{
+    Counter hits, total0, total1;
+    hits.inc(3);
+    total0.inc(5);
+    total1.inc(5);
+    StatRegistry r;
+    r.addCounter("hits", hits);
+    r.addCounter("total", total0);
+    r.addCounter("total", total1);
+    r.addFormula("hitRate", [](const StatRegistry &g) {
+        return g.counter("hits") / g.counter("total");
+    });
+    EXPECT_DOUBLE_EQ(r.value("hitRate"), 0.3);
+
+    const StatsMap snap = r.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("hitRate"), 0.3);
+    // The derived value must be Scalar so a downstream merge cannot
+    // double it — the original StatsMap::merge bug.
+    EXPECT_EQ(snap.kindOf("hitRate"), StatKind::Scalar);
+    StatsMap twice = snap;
+    twice.merge(snap);
+    EXPECT_DOUBLE_EQ(twice.at("hitRate"), 0.3);
+    EXPECT_DOUBLE_EQ(twice.at("total"), 20.0); // raw counts do sum
+}
+
+TEST(StatRegistry, CounterFnAndValueSourcesAreAdditive)
+{
+    double energy0 = 1.5, energy1 = 2.5;
+    StatRegistry r;
+    r.addValue("energy", energy0);
+    r.addValue("energy", energy1);
+    r.addCounterFn("derivedCount", [] { return 4.0; });
+    EXPECT_DOUBLE_EQ(r.counter("energy"), 4.0);
+    energy1 = 3.5; // live pointer: reads see the current value
+    EXPECT_DOUBLE_EQ(r.counter("energy"), 5.0);
+    const StatsMap snap = r.snapshot();
+    EXPECT_EQ(snap.kindOf("energy"), StatKind::Additive);
+    EXPECT_EQ(snap.kindOf("derivedCount"), StatKind::Additive);
+    EXPECT_DOUBLE_EQ(snap.at("derivedCount"), 4.0);
+}
+
+TEST(StatRegistry, GaugeIsScalar)
+{
+    StatRegistry r;
+    r.addGauge("occupancy", [] { return 0.5; });
+    const StatsMap snap = r.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("occupancy"), 0.5);
+    EXPECT_EQ(snap.kindOf("occupancy"), StatKind::Scalar);
+}
+
+TEST(EpochSamplerTest, SamplesRowsAndTerminates)
+{
+    sim::EventQueue eq;
+    int work = 0;
+    // Background work spanning 10 epochs of 100 ticks.
+    for (Tick t = 50; t <= 1000; t += 50)
+        eq.schedule(t, [&work] { ++work; });
+
+    sim::EpochSampler sampler(eq);
+    double gauge = 0;
+    sampler.addGauge("g", [&gauge] { return gauge++; });
+    sampler.start(100);
+    EXPECT_TRUE(sampler.running());
+
+    eq.run(); // must terminate: the sampler may not self-sustain
+
+    EXPECT_FALSE(sampler.running());
+    EXPECT_EQ(work, 20);
+    const sim::EpochSeries &s = sampler.series();
+    ASSERT_EQ(s.names.size(), 1u);
+    EXPECT_EQ(s.names[0], "g");
+    // One sample per epoch while work was pending; at least the
+    // 100..1000 epochs are covered.
+    ASSERT_GE(s.ticks.size(), 10u);
+    EXPECT_EQ(s.ticks[0], Tick{100});
+    EXPECT_EQ(s.ticks[1], Tick{200});
+    ASSERT_EQ(s.rows.size(), s.ticks.size());
+    EXPECT_DOUBLE_EQ(s.rows[0][0], 0.0); // gauge read in tick order
+    EXPECT_DOUBLE_EQ(s.rows[1][0], 1.0);
+}
+
+TEST(EpochSamplerTest, SeriesWritersProduceParsableOutput)
+{
+    sim::EpochSeries s;
+    s.names = {"a", "b"};
+    s.ticks = {100, 200};
+    s.rows = {{1.0, 2.0}, {3.0, 4.0}};
+
+    std::ostringstream csv;
+    s.writeCsv(csv);
+    EXPECT_NE(csv.str().find("tick,a,b"), std::string::npos);
+    EXPECT_NE(csv.str().find("200,3,4"), std::string::npos);
+
+    std::ostringstream json;
+    s.writeJson(json);
+    const JsonValue doc = parseJson(json.str());
+    ASSERT_EQ(doc.type, JsonValue::Type::Object);
+    const JsonValue *rows = doc.find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_EQ(rows->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(rows->array[1].array[0].number, 3.0);
+}
+
+TEST(StatsIo, JsonRoundTripPreservesValuesAndKinds)
+{
+    StatsMap m;
+    m.add("mem.reads", 12345.0);
+    m.add("mem.writes", 67.0);
+    m.set("mem.busUtilization", 0.4375);
+    m.set("mem.avgQueueWaitTicks", 1234.5678901234567);
+
+    std::ostringstream os;
+    writeStatsJson(os, m, "testrun", 9876543210);
+
+    const JsonValue doc = parseJson(os.str());
+    ASSERT_EQ(doc.type, JsonValue::Type::Object);
+    const JsonValue *schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string, "rcnvm-stats-v1");
+    const JsonValue *label = doc.find("label");
+    ASSERT_NE(label, nullptr);
+    EXPECT_EQ(label->string, "testrun");
+    const JsonValue *ticks = doc.find("ticks");
+    ASSERT_NE(ticks, nullptr);
+    EXPECT_DOUBLE_EQ(ticks->number, 9876543210.0);
+
+    const StatsMap back = statsFromJson(doc);
+    EXPECT_DOUBLE_EQ(back.at("mem.reads"), 12345.0);
+    EXPECT_DOUBLE_EQ(back.at("mem.writes"), 67.0);
+    EXPECT_DOUBLE_EQ(back.at("mem.busUtilization"), 0.4375);
+    EXPECT_DOUBLE_EQ(back.at("mem.avgQueueWaitTicks"),
+                     1234.5678901234567);
+    EXPECT_EQ(back.kindOf("mem.reads"), StatKind::Additive);
+    EXPECT_EQ(back.kindOf("mem.busUtilization"), StatKind::Scalar);
+
+    // Kinds surviving the round trip means merges behave the same on
+    // a re-imported map as on the original.
+    StatsMap merged = back;
+    merged.merge(back);
+    EXPECT_DOUBLE_EQ(merged.at("mem.reads"), 24690.0);
+    EXPECT_DOUBLE_EQ(merged.at("mem.busUtilization"), 0.4375);
+}
+
+TEST(StatsIo, CsvWriterEmitsLabeledRows)
+{
+    StatsMap m;
+    m.add("x", 2.0);
+    m.set("y", 0.5);
+    std::ostringstream os;
+    writeStatsCsv(os, m, "lab");
+    EXPECT_NE(os.str().find("\"lab\",x,2"), std::string::npos);
+    EXPECT_NE(os.str().find("\"lab\",y,0.5"), std::string::npos);
+}
+
+TEST(StatsIo, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1, 2"), std::runtime_error);
+    EXPECT_THROW(parseJson(""), std::runtime_error);
+}
+
+#if RCNVM_PACKET_TRACE
+TEST(ChromeTrace, WritesParsableTraceFile)
+{
+    const std::string path =
+        testing::TempDir() + "chrome_trace_test.json";
+    ChromeTracer::enable(path);
+    ASSERT_NE(ChromeTracer::active(), nullptr);
+    ChromeTracer::active()->complete("service",
+                                     ChromeTracer::kPidMemBase, 3,
+                                     2'000'000, 500'000, 0x1000);
+    ChromeTracer::active()->instant(
+        "mshr.alloc", ChromeTracer::kPidCache, 1, 1'000'000, 0x1000);
+    EXPECT_EQ(ChromeTracer::active()->eventCount(), 2u);
+    ChromeTracer::disable();
+    EXPECT_EQ(ChromeTracer::active(), nullptr);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const JsonValue doc = parseJson(in);
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->type, JsonValue::Type::Array);
+
+    // Metadata (process_name) events plus the two recorded ones.
+    const JsonValue *complete = nullptr;
+    const JsonValue *instant = nullptr;
+    for (const JsonValue &ev : events->array) {
+        const JsonValue *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "X")
+            complete = &ev;
+        else if (ph->string == "i")
+            instant = &ev;
+    }
+    ASSERT_NE(complete, nullptr);
+    ASSERT_NE(instant, nullptr);
+
+    // Ticks are picoseconds; chrome timestamps are microseconds.
+    EXPECT_DOUBLE_EQ(complete->find("ts")->number, 2.0);
+    EXPECT_DOUBLE_EQ(complete->find("dur")->number, 0.5);
+    EXPECT_DOUBLE_EQ(complete->find("tid")->number, 3.0);
+    EXPECT_EQ(complete->find("name")->string, "service");
+    EXPECT_DOUBLE_EQ(instant->find("ts")->number, 1.0);
+    EXPECT_EQ(instant->find("name")->string, "mshr.alloc");
+
+    std::remove(path.c_str());
+}
+#endif // RCNVM_PACKET_TRACE
+
+} // namespace
+} // namespace rcnvm::util

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
@@ -215,15 +216,154 @@ TEST(Stats, MapSetAddGet)
 
 TEST(Stats, MapMergeSumsSharedNames)
 {
+    // Raw counts (add) are additive: shared names sum on merge.
     StatsMap a, b;
-    a.set("x", 1.0);
-    a.set("y", 2.0);
-    b.set("y", 3.0);
-    b.set("z", 4.0);
+    a.add("x", 1.0);
+    a.add("y", 2.0);
+    b.add("y", 3.0);
+    b.add("z", 4.0);
     a.merge(b);
     EXPECT_DOUBLE_EQ(a.get("x"), 1.0);
     EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
     EXPECT_DOUBLE_EQ(a.get("z"), 4.0);
+    EXPECT_EQ(a.kindOf("y"), StatKind::Additive);
+}
+
+// Regression for the original merge bug: merge() summed EVERY shared
+// name, so non-additive derived values (rates, means, utilisations)
+// were silently doubled when two snapshots met. Scalar entries must
+// survive a merge with last-writer-wins semantics instead.
+TEST(Stats, MergeDoesNotSumScalars)
+{
+    StatsMap a, b;
+    a.set("mem.busUtilization", 0.75);
+    a.set("mem.bufferMissRate", 0.5);
+    b.set("mem.busUtilization", 0.75);
+    b.set("mem.bufferMissRate", 0.5);
+    a.merge(b);
+    // The buggy merge produced 1.5 and 1.0 here.
+    EXPECT_DOUBLE_EQ(a.get("mem.busUtilization"), 0.75);
+    EXPECT_DOUBLE_EQ(a.get("mem.bufferMissRate"), 0.5);
+    EXPECT_EQ(a.kindOf("mem.busUtilization"), StatKind::Scalar);
+}
+
+TEST(Stats, MergeScalarTakesIncomingValue)
+{
+    StatsMap a, b;
+    a.set("rate", 0.25);
+    b.set("rate", 0.75);
+    a.merge(b); // the incoming map is the newer snapshot
+    EXPECT_DOUBLE_EQ(a.get("rate"), 0.75);
+}
+
+TEST(Stats, MergeMixedKindsKeepsIncoming)
+{
+    // A name that changes kind across snapshots (e.g. a stat that
+    // was a raw count in one producer and a derived value in
+    // another) must not be summed; the incoming entry wins whole.
+    StatsMap a, b;
+    a.add("n", 2.0);
+    b.set("n", 0.5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("n"), 0.5);
+    EXPECT_EQ(a.kindOf("n"), StatKind::Scalar);
+
+    StatsMap c, d;
+    c.set("m", 0.5);
+    d.add("m", 2.0);
+    c.merge(d);
+    EXPECT_DOUBLE_EQ(c.get("m"), 2.0);
+    EXPECT_EQ(c.kindOf("m"), StatKind::Additive);
+}
+
+TEST(Stats, StrictLookupThrowsOnUnknownName)
+{
+    StatsMap m;
+    m.set("known", 1.0);
+    EXPECT_DOUBLE_EQ(m.at("known"), 1.0);
+    EXPECT_THROW(m.at("unknown"), std::out_of_range);
+    EXPECT_THROW(m.at("knowm"), std::out_of_range); // typo guard
+}
+
+TEST(Stats, SampledMergeEmptyEdgeCases)
+{
+    Sampled empty1, empty2;
+    empty1.merge(empty2);
+    EXPECT_EQ(empty1.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty1.mean(), 0.0);
+
+    // empty ⊕ non-empty takes the non-empty moments whole.
+    Sampled a, b;
+    b.sample(2.0);
+    b.sample(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+
+    // non-empty ⊕ empty is unchanged.
+    Sampled c, d;
+    c.sample(-5.0);
+    c.merge(d);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.mean(), -5.0);
+    EXPECT_DOUBLE_EQ(c.min(), -5.0);
+    EXPECT_DOUBLE_EQ(c.max(), -5.0);
+}
+
+TEST(Stats, SampledMergeNegativeValues)
+{
+    // min/max must come from real samples, not a zero-initialised
+    // default that an all-negative population would never beat.
+    Sampled a, b;
+    a.sample(-1.0);
+    a.sample(-3.0);
+    b.sample(-2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), -1.0);
+    EXPECT_DOUBLE_EQ(a.mean(), -2.0);
+}
+
+TEST(Stats, HistogramBucketBoundaries)
+{
+    Log2Histogram h;
+    h.sample(0); // bucket 0 holds exactly the zeros
+    h.sample(1); // [1,2) -> bucket 1
+    h.sample(2); // [2,4) -> bucket 2
+    h.sample(3);
+    h.sample(4); // [4,8) -> bucket 3
+    h.sample(7);
+    h.sample(8); // [8,16) -> bucket 4
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(5), 0u);
+    EXPECT_EQ(Log2Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketLow(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketLow(3), 4u);
+    EXPECT_EQ(Log2Histogram::bucketLow(4), 8u);
+}
+
+TEST(Stats, HistogramMergeAddsBuckets)
+{
+    Log2Histogram a, b;
+    a.sample(1);
+    a.sample(100);
+    b.sample(1);
+    b.sample(0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.bucket(0), 1u);
+    EXPECT_EQ(a.bucket(1), 2u);
+    EXPECT_EQ(a.bucket(Log2Histogram::bucketOf(100)), 1u);
+    EXPECT_GE(a.usedBuckets(), 3u);
 }
 
 TEST(TablePrinterTest, FormatsAlignedColumns)

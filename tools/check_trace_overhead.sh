@@ -1,0 +1,46 @@
+#!/bin/sh
+# Tracing-overhead smoke: build the simulator twice — packet-trace
+# probes compiled in (but runtime-disabled, the shipping default) and
+# compiled out entirely — run the end-to-end throughput benchmark in
+# both, and fail when the compiled-in/disabled build is more than
+# THRESHOLD percent slower. Guards the "<2% when disabled" promise of
+# the tracer's one-pointer-load hot-path check with headroom for
+# benchmark noise.
+#
+# usage: check_trace_overhead.sh [threshold-percent] [repetitions]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
+threshold=${1:-10}
+reps=${2:-5}
+bench_filter='BM_EndToEndSimulatedAccesses'
+
+run_bench() {
+    bdir=$1
+    trace=$2
+    cmake -B "$bdir" -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRCNVM_PACKET_TRACE="$trace" >/dev/null
+    cmake --build "$bdir" -j "$(nproc)" \
+        --target simulator_throughput >/dev/null
+    "$bdir/bench/simulator_throughput" \
+        --benchmark_filter="$bench_filter" \
+        --benchmark_repetitions="$reps" \
+        --benchmark_report_aggregates_only=true \
+        --benchmark_format=csv 2>/dev/null |
+        awk -F, '/_median/ { gsub(/"/, "", $4); print $4 }'
+}
+
+on_ns=$(run_bench "$root/build-trace-on" ON)
+off_ns=$(run_bench "$root/build-trace-off" OFF)
+
+echo "median $bench_filter cpu time: traced-but-disabled ${on_ns}ns," \
+     "compiled-out ${off_ns}ns"
+
+awk -v on="$on_ns" -v off="$off_ns" -v lim="$threshold" 'BEGIN {
+    if (off <= 0) { print "bad baseline measurement"; exit 1 }
+    overhead = 100 * (on - off) / off
+    printf "disabled-tracing overhead: %.2f%% (limit %s%%)\n", \
+        overhead, lim
+    exit (overhead <= lim) ? 0 : 1
+}'

@@ -148,12 +148,16 @@ cmdRun(const std::string &device, const char *path)
                     config.hierarchy.cores);
 
     const auto r = core::runPlans(config, plans);
+
+    core::ArtifactWriter artifacts("rcnvm_trace");
+    artifacts.record(std::string("run.") + device, r);
+
     std::cout << "device:           " << toString(kind) << "\n"
               << "cores in trace:   " << plans.size() << "\n"
               << "execution:        " << r.megacycles()
               << " Mcycles (" << r.ticks / 1000000.0 << " us)\n"
               << "LLC misses:       " << r.llcMisses() << "\n"
-              << "memory requests:  " << r.stats.get("mem.requests")
+              << "memory requests:  " << r.stats.at("mem.requests")
               << "\n"
               << "buffer miss rate: "
               << 100.0 * r.bufferMissRate() << "%\n";
