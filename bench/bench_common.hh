@@ -45,20 +45,27 @@ allDevices()
     return devices;
 }
 
-/** The Q1..Q13 execution-time query set of Figures 18-21. */
+/** The timed execution-time query set of Figures 18-21: the first
+ *  workload::kTimedQueryCount entries of Table 2 (Q1-Q13). */
 inline const std::vector<workload::QueryId> &
 sqlQueries()
 {
-    static const std::vector<workload::QueryId> ids = {
-        workload::QueryId::Q1,  workload::QueryId::Q2,
-        workload::QueryId::Q3,  workload::QueryId::Q4,
-        workload::QueryId::Q5,  workload::QueryId::Q6,
-        workload::QueryId::Q7,  workload::QueryId::Q8,
-        workload::QueryId::Q9,  workload::QueryId::Q10,
-        workload::QueryId::Q11, workload::QueryId::Q12,
-        workload::QueryId::Q13,
-    };
+    static const std::vector<workload::QueryId> ids = [] {
+        std::vector<workload::QueryId> v;
+        v.reserve(workload::kTimedQueryCount);
+        for (unsigned i = 0; i < workload::kTimedQueryCount; ++i)
+            v.push_back(workload::allQueries()[i].id);
+        return v;
+    }();
     return ids;
+}
+
+/** "Q1-Q13"-style label of the timed suite, derived from the same
+ *  constant the suite itself is built from. */
+inline std::string
+sqlSuiteLabel()
+{
+    return "Q1-Q" + std::to_string(workload::kTimedQueryCount);
 }
 
 /** Results of one query on every device. */

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Extension bench: OLXP service saturation curves. Sweeps the
+ * offered open-loop OLTP load (Poisson point lookups/updates on
+ * table-a) against a fixed closed-loop OLAP scan background on all
+ * four devices and reports per-class p50/p95/p99 latency, completed
+ * and rejected counts, and each device's saturation knee — the
+ * highest offered load whose p99 OLTP latency stays under twice the
+ * device's own lightest-load p99.
+ *
+ * Expectation: RC-NVM's column scans touch ~8x fewer lines than the
+ * strided scans a row-only device needs, so each scan segment
+ * completes several times faster. With most cores busy serving the
+ * analytic background, an arriving OLTP request waits for a scan
+ * segment to drain before it gets a core — so RC-NVM both clears
+ * more scans per second and holds its OLTP tail flat to a higher
+ * offered load (a higher knee) than DRAM.
+ *
+ * `--smoke` runs a reduced sweep (smaller tables, two load points)
+ * for CI. RCNVM_SEED reseeds tables and generators; two runs with
+ * the same seed produce identical statistics. The service shape is
+ * overridable for exploration: RCNVM_OLXP_STREAMS,
+ * RCNVM_OLXP_SCAN_TUPLES, RCNVM_OLXP_SCAN_FIELDS,
+ * RCNVM_OLXP_UPDATE_PCT, RCNVM_OLXP_HORIZON.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "olxp/service.hh"
+
+using namespace rcnvm;
+
+namespace {
+
+struct SweepPoint {
+    Tick interArrival = 0; //!< mean OLTP inter-arrival gap (ticks)
+    olxp::ServiceResult result;
+
+    /** Offered load in requests per microsecond (1 us = 1e6 ticks). */
+    double offered() const
+    {
+        return 1.0e6 / static_cast<double>(interArrival);
+    }
+};
+
+std::string
+usLabel(double ticks)
+{
+    return bench::num(ticks / 1.0e6, 2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    util::setLogLevel(util::LogLevel::Quiet);
+
+    // Table-a must be several times the 8 MB LLC (tuples are 128 B)
+    // or the scan background never reaches memory and the bench
+    // measures nothing but core scheduling.
+    const std::uint64_t tuples =
+        bench::benchTuples(smoke ? 131072 : 262144);
+    const std::uint64_t seed = util::envSeed(42);
+
+    // Service shape, overridable for exploration (RCNVM_OLXP_*).
+    const auto envU = [](const char *name,
+                         std::uint64_t fallback) -> std::uint64_t {
+        if (const char *v = std::getenv(name))
+            return std::strtoull(v, nullptr, 10);
+        return fallback;
+    };
+    olxp::ServiceConfig service;
+    service.oltpUpdateFraction =
+        static_cast<double>(envU("RCNVM_OLXP_UPDATE_PCT", 20)) /
+        100.0;
+    service.olapStreams = static_cast<unsigned>(
+        envU("RCNVM_OLXP_STREAMS", 3));
+    service.olapTuplesPerScan =
+        envU("RCNVM_OLXP_SCAN_TUPLES", 512);
+    service.olapFields = static_cast<unsigned>(
+        envU("RCNVM_OLXP_SCAN_FIELDS", 1));
+    service.horizon = static_cast<Tick>(envU(
+        "RCNVM_OLXP_HORIZON", smoke ? 16000000 : 40000000));
+    service.runQueueCapacity = 64;
+
+    // Mean inter-arrival sweep, heaviest last. Each halving doubles
+    // the offered load; the lightest point is the per-device p99
+    // baseline the knee is measured against.
+    const std::vector<Tick> loads =
+        smoke ? std::vector<Tick>{200000, 100000, 50000}
+              : std::vector<Tick>{200000, 100000, 50000, 25000,
+                                  12500, 6250};
+
+    const workload::TableSet tables =
+        workload::TableSet::standard(tuples, 1024, seed);
+    const workload::QueryWorkload workload(tables);
+
+    core::ArtifactWriter artifacts("ext_olxp_service");
+
+    util::TablePrinter t(
+        "Extension: OLXP service saturation (latency in us; offered "
+        "load in OLTP req/us; OLAP background: " +
+        std::to_string(service.olapStreams) + " scan stream(s))");
+    t.addRow({"device", "offered", "oltp done", "rej", "p50", "p95",
+              "p99", "olap done", "olap p99"});
+
+    std::vector<std::vector<SweepPoint>> sweeps;
+    for (const auto kind : bench::allDevices()) {
+        mem::AddressMap map(mem::geometryFor(kind));
+        const workload::PlacedDatabase pd = workload.place(kind, map);
+
+        std::vector<SweepPoint> sweep;
+        for (const Tick ia : loads) {
+            cpu::MachineConfig config = core::table1Machine(kind);
+            config.seed = seed;
+            cpu::Machine machine(config);
+
+            olxp::ServiceConfig cfg = service;
+            cfg.oltpInterArrival = ia;
+            olxp::QueryScheduler scheduler(machine, pd, cfg);
+
+            SweepPoint point;
+            point.interArrival = ia;
+            point.result = scheduler.run();
+            if (artifacts.enabled()) {
+                artifacts.record(std::string(mem::toString(kind)) +
+                                     "-ia" + std::to_string(ia),
+                                 point.result.run.stats,
+                                 point.result.run.ticks);
+            }
+
+            const olxp::ServiceResult &r = point.result;
+            t.addRow({mem::toString(kind),
+                      bench::num(point.offered(), 2),
+                      std::to_string(r.oltpCompleted),
+                      std::to_string(r.oltpRejected),
+                      usLabel(r.oltpP50), usLabel(r.oltpP95),
+                      usLabel(r.oltpP99),
+                      std::to_string(r.olapCompleted),
+                      usLabel(r.olapP99)});
+            sweep.push_back(std::move(point));
+        }
+        sweeps.push_back(std::move(sweep));
+    }
+    t.print(std::cout);
+
+    // Knee: the highest offered load whose p99 stays under 2x the
+    // device's lightest-load baseline with no admission rejects.
+    std::cout << "\nsaturation knees (p99 < 2x own baseline, no "
+                 "rejects):\n";
+    std::vector<double> knees;
+    for (std::size_t d = 0; d < sweeps.size(); ++d) {
+        const std::vector<SweepPoint> &sweep = sweeps[d];
+        const double base = sweep.front().result.oltpP99;
+        double knee = 0;
+        for (const SweepPoint &p : sweep) {
+            if (p.result.oltpP99 < 2.0 * base &&
+                p.result.oltpRejected == 0) {
+                knee = std::max(knee, p.offered());
+            }
+        }
+        knees.push_back(knee);
+        std::cout << "  " << mem::toString(bench::allDevices()[d])
+                  << ": " << bench::num(knee, 2)
+                  << " req/us (baseline p99 " << usLabel(base)
+                  << " us)\n";
+    }
+
+    // Headline: RC-NVM vs DRAM under the same concurrent scans.
+    // allDevices() order is RC-NVM, RRAM, GS-DRAM, DRAM.
+    const double rc_knee = knees[0], dram_knee = knees[3];
+    const olxp::ServiceResult &rc_heavy =
+        sweeps[0].back().result;
+    const olxp::ServiceResult &dram_heavy =
+        sweeps[3].back().result;
+    std::cout << "\nheadline: under concurrent column scans, "
+                 "RC-NVM sustains "
+              << bench::num(dram_knee > 0 ? rc_knee / dram_knee : 0,
+                            1)
+              << "x DRAM's offered OLTP load before its p99 "
+                 "doubles; at the heaviest point RC-NVM p99 = "
+              << usLabel(rc_heavy.oltpP99) << " us vs DRAM p99 = "
+              << usLabel(dram_heavy.oltpP99) << " us ("
+              << dram_heavy.oltpRejected << " DRAM rejects, "
+              << rc_heavy.oltpRejected << " RC-NVM rejects).\n";
+
+    if (rc_knee <= dram_knee) {
+        std::cout << "WARNING: expected RC-NVM knee > DRAM knee\n";
+        // The smoke sweep has too few tail samples per point to pin
+        // the knee down to a log2 bucket; it validates the service
+        // pipeline, the full sweep enforces the result.
+        return smoke ? 0 : 1;
+    }
+    return 0;
+}

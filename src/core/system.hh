@@ -13,6 +13,8 @@
 
 #include "core/experiment.hh"
 #include "mem/geometry.hh"
+#include "olxp/service.hh"
+#include "util/random.hh"
 
 namespace rcnvm::core {
 
@@ -34,7 +36,8 @@ class RcNvmSystem
         mem::DeviceKind device = mem::DeviceKind::RcNvm;
         std::uint64_t tuples = 65536;
         std::uint64_t microTuples = 32768;
-        std::uint64_t seed = 42;
+        /** Table-content seed; RCNVM_SEED overrides the default. */
+        std::uint64_t seed = util::envSeed(42);
         unsigned cores = 4;
         imdb::ChunkLayout rcLayout =
             imdb::ChunkLayout::ColumnOriented;
@@ -64,6 +67,15 @@ class RcNvmSystem
     /** Run custom per-core plans against this system's device. */
     ExperimentResult
     runPlans(const std::vector<cpu::AccessPlan> &plans) const;
+
+    /**
+     * Serve concurrent OLXP traffic (open-loop Poisson OLTP against
+     * a closed-loop OLAP scan background) on a fresh Table-1
+     * machine and report per-class tail latency — the service-layer
+     * counterpart of the batch runQuery entry points.
+     */
+    olxp::ServiceResult
+    runService(const olxp::ServiceConfig &config) const;
 
     /** Subarrays (or 8 MB regions) used by the placement. */
     unsigned binsUsed() const { return pd_.db->binsUsed(); }

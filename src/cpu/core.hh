@@ -46,7 +46,9 @@ class Core
 
     /** Begin replaying @p plan; @p on_finish fires when done.
      *  The plan is borrowed, not copied: the caller must keep it
-     *  alive until the run completes. */
+     *  alive until the run completes. The core must be finished();
+     *  calling start from inside the previous plan's on_finish
+     *  callback is allowed (service dispatch onto a freed core). */
     void start(const AccessPlan &plan,
                util::UniqueFunction<void(Tick)> on_finish);
 

@@ -116,6 +116,44 @@ Machine::run(const AccessPlan &plan)
 }
 
 void
+Machine::startOnCore(unsigned c, const AccessPlan &plan,
+                     util::UniqueFunction<void(Tick)> on_finish)
+{
+    if (c >= cores_.size())
+        rcnvm_fatal("startOnCore: core ", c, " of ", cores_.size());
+    if (!cores_[c]->finished())
+        rcnvm_fatal("startOnCore: core ", c, " is busy");
+    cores_[c]->start(plan, std::move(on_finish));
+}
+
+RunResult
+Machine::serve()
+{
+    const Tick start = eq_.now();
+
+    if (sampler_)
+        sampler_->start(config_.epochTicks);
+
+    eq_.run();
+
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if (!cores_[c]->finished())
+            rcnvm_panic("service deadlock: core ", c,
+                        " never finished");
+    }
+
+    RunResult result;
+    result.ticks = eq_.now() - start;
+    result.stats = registry_.snapshot();
+    result.stats.set("run.ticks", static_cast<double>(result.ticks));
+    if (sampler_) {
+        result.series = sampler_->series();
+        sampler_->clear();
+    }
+    return result;
+}
+
+void
 Machine::reset()
 {
     hierarchy_->reset();

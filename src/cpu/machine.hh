@@ -17,6 +17,7 @@
 #include "mem/memory_system.hh"
 #include "sim/epoch_sampler.hh"
 #include "sim/event_queue.hh"
+#include "util/random.hh"
 #include "util/stat_registry.hh"
 #include "util/stats.hh"
 
@@ -33,6 +34,13 @@ struct MachineConfig {
     unsigned memQueueCapacity = 32; //!< per-channel queue depth
     /** Epoch-sample period in ticks; 0 disables the time series. */
     Tick epochTicks = 0;
+    /**
+     * Seed for stochastic components attached to this machine (the
+     * OLXP service generators default to it). RCNVM_SEED overrides
+     * the built-in default, so one environment variable makes every
+     * experiment reproducible end to end.
+     */
+    std::uint64_t seed = util::envSeed(42);
 };
 
 /** Result of one simulation run. */
@@ -59,6 +67,9 @@ class Machine
   public:
     explicit Machine(const MachineConfig &config);
 
+    /** The configuration the machine was built with. */
+    const MachineConfig &config() const { return config_; }
+
     /** The device kind this machine models. */
     mem::DeviceKind device() const { return config_.device; }
 
@@ -77,6 +88,46 @@ class Machine
     /** Convenience: run a single-core plan. */
     RunResult run(const AccessPlan &plan);
 
+    // --- Service-mode primitives (the OLXP scheduler). Instead of
+    // --- replaying one fixed plan list, a client seeds the event
+    // --- queue with arrival events, starts plans on cores as they
+    // --- free up mid-simulation, and drives the loop with serve().
+
+    /** Number of cores in the machine. */
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** True when core @p c is not executing a plan. */
+    bool coreIdle(unsigned c) const { return cores_[c]->finished(); }
+
+    /**
+     * Start @p plan on idle core @p c; @p on_finish fires at
+     * completion. Legal mid-simulation, including from inside
+     * another (or the same) core's completion callback. The plan is
+     * borrowed and must stay alive until completion.
+     */
+    void startOnCore(unsigned c, const AccessPlan &plan,
+                     util::UniqueFunction<void(Tick)> on_finish);
+
+    /**
+     * Run the event loop until it drains, then snapshot statistics
+     * exactly like run(). Callers are responsible for having seeded
+     * the queue (arrival events, startOnCore) and for terminating
+     * generators, or the loop never empties. RunResult::ticks spans
+     * from the call to the last event (drain included).
+     */
+    RunResult serve();
+
+    /** The machine's event queue (service generators schedule
+     *  arrival events into it). */
+    sim::EventQueue &eventQueue() { return eq_; }
+
+    /** The epoch sampler, or nullptr when epochTicks is 0 (service
+     *  clients attach run-queue gauges to it). */
+    sim::EpochSampler *epochSampler() { return sampler_.get(); }
+
     /** Drop all cache/bank state and statistics. */
     void reset();
 
@@ -89,6 +140,12 @@ class Machine
     /** The machine-wide statistics registry (tests and reports).
      *  run() snapshots it; callers may read it mid-run too. */
     const util::StatRegistry &registry() const { return registry_; }
+
+    /** Mutable registry access: service clients register their own
+     *  statistics (latency histograms, admission counters) so they
+     *  ride in the same snapshot. Registered sources must outlive
+     *  every later snapshot of this machine. */
+    util::StatRegistry &registry() { return registry_; }
 
   private:
     MachineConfig config_;

@@ -12,7 +12,7 @@ using util::divCeil;
 Database::Database(mem::DeviceKind kind, const mem::AddressMap &map,
                    PlacementPolicy policy, bool allow_rotation)
     : kind_(kind),
-      map_(&map),
+      map_(map),
       colCapable_(mem::capsFor(kind).columnAccess),
       // Rotation swaps the role of rows and columns inside a chunk,
       // which is only meaningful on a dual-addressable device.
@@ -67,7 +67,7 @@ Database::addTable(const Table *table, ChunkLayout layout)
         // disjoint - set of banks. Each table opens its own group
         // of one bin per bank; bins of successive groups revisit
         // the same banks in deeper subarrays.
-        const mem::Geometry &g = map_->geometry();
+        const mem::Geometry &g = map_.geometry();
         const unsigned banks = g.channels * g.ranksPerChannel *
                                g.banksPerRank;
         const unsigned base = packer_.binsUsed();
@@ -135,7 +135,7 @@ Addr
 Database::physAddr(unsigned bin, unsigned r, unsigned c,
                    Orientation space) const
 {
-    const mem::Geometry &g = map_->geometry();
+    const mem::Geometry &g = map_.geometry();
     const unsigned C = g.channels;
     const unsigned R = g.ranksPerChannel;
     const unsigned B = g.banksPerRank;
@@ -151,7 +151,7 @@ Database::physAddr(unsigned bin, unsigned r, unsigned c,
                         " exceeds device subarrays");
         d.row = r;
         d.col = c;
-        return map_->encode(d, space);
+        return map_.encode(d, space);
     }
 
     if (space != Orientation::Row)
@@ -176,7 +176,7 @@ Database::physAddr(unsigned bin, unsigned r, unsigned c,
         rcnvm_fatal("database does not fit on ", toString(kind_));
     d.col = static_cast<unsigned>(within / g.wordBytes);
     d.offset = static_cast<unsigned>(within % g.wordBytes);
-    return map_->encode(d, Orientation::Row);
+    return map_.encode(d, Orientation::Row);
 }
 
 Addr
@@ -446,7 +446,7 @@ Database::gatherable(TableId id, unsigned w) const
         return false;
     // The 8-word gather group must sit inside one DRAM row.
     const std::uint64_t span = (std::uint64_t{7} * tw + 1) * 8;
-    if (span > map_->geometry().rowBytes())
+    if (span > map_.geometry().rowBytes())
         return false;
     (void)w;
     return true;

@@ -215,7 +215,9 @@ class Database
                     unsigned c, std::vector<LineRef> &out) const;
 
     mem::DeviceKind kind_;
-    const mem::AddressMap *map_;
+    /** By value: the database must stay usable for plan building
+     *  after the caller's map goes out of scope. */
+    mem::AddressMap map_;
     bool colCapable_;
     bool spread_;
     BinPacker packer_;

@@ -137,6 +137,13 @@ MemorySystem::registerStats(util::StatRegistry &r) const
                  [](const util::StatRegistry &g) {
                      return g.sampled("mem.queueWaitTicks").mean();
                  });
+    // Tail of the controller queueing delay (left edge of the log2
+    // bucket holding the 99th-percentile wait, over all channels).
+    r.addFormula("mem.queueWaitP99",
+                 [](const util::StatRegistry &g) {
+                     return g.histogram("mem.queueWaitHist")
+                         .percentile(0.99);
+                 });
     r.addFormula("mem.avgServiceTicks",
                  [](const util::StatRegistry &g) {
                      return g.sampled("mem.serviceTicks").mean();

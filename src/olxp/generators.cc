@@ -1,0 +1,94 @@
+#include "olxp/generators.hh"
+
+#include <cmath>
+
+#include "imdb/plan_builder.hh"
+
+namespace rcnvm::olxp {
+
+const char *
+toString(RequestClass cls)
+{
+    return cls == RequestClass::Oltp ? "oltp" : "olap";
+}
+
+OltpGenerator::OltpGenerator(const workload::PlacedDatabase &pd,
+                             Tick mean_inter_arrival,
+                             double update_fraction,
+                             std::uint64_t seed)
+    : pd_(&pd),
+      meanInterArrival_(mean_inter_arrival),
+      updateFraction_(update_fraction),
+      tuples_(pd.db->table(pd.a).tuples()),
+      tupleWords_(pd.db->table(pd.a).schema().tupleWords()),
+      rng_(seed)
+{
+}
+
+Tick
+OltpGenerator::nextGap()
+{
+    // Inverse-transform exponential draw; nextDouble() < 1 keeps the
+    // log argument positive.
+    const double u = rng_.nextDouble();
+    const double gap =
+        -static_cast<double>(meanInterArrival_) * std::log(1.0 - u);
+    const Tick t = static_cast<Tick>(gap);
+    return t < 1 ? Tick{1} : t;
+}
+
+Request
+OltpGenerator::make(Tick arrival)
+{
+    const std::uint64_t t = rng_.nextBounded(tuples_);
+    const bool update = rng_.nextBool(updateFraction_);
+    // The written field is drawn even for read-only requests so the
+    // request sequence (and therefore every downstream draw) does
+    // not depend on the update coin.
+    const unsigned w =
+        static_cast<unsigned>(rng_.nextBounded(tupleWords_));
+
+    imdb::PlanBuilder b(*pd_->db);
+    b.fetchTuples(pd_->a, {t}, 0, tupleWords_,
+                  b.costs().materialize);
+    if (update)
+        b.storeFieldWord(pd_->a, {t}, w);
+    return Request{RequestClass::Oltp, b.take(), arrival};
+}
+
+OlapGenerator::OlapGenerator(const workload::PlacedDatabase &pd,
+                             std::uint64_t tuples_per_scan,
+                             unsigned scan_fields, std::uint64_t seed)
+    : pd_(&pd),
+      tuplesPerScan_(tuples_per_scan),
+      scanFields_(scan_fields),
+      tuples_(pd.db->table(pd.a).tuples()),
+      tupleWords_(pd.db->table(pd.a).schema().tupleWords()),
+      rng_(seed)
+{
+    if (tuplesPerScan_ == 0 || tuplesPerScan_ > tuples_)
+        tuplesPerScan_ = tuples_;
+    if (scanFields_ == 0 || scanFields_ > tupleWords_)
+        scanFields_ = tupleWords_;
+}
+
+Request
+OlapGenerator::make(Tick arrival)
+{
+    const unsigned w =
+        static_cast<unsigned>(rng_.nextBounded(scanFields_));
+    const std::uint64_t t0 = cursor_;
+    std::uint64_t t1 = t0 + tuplesPerScan_;
+    if (t1 >= tuples_) {
+        t1 = tuples_;
+        cursor_ = 0;
+    } else {
+        cursor_ = t1;
+    }
+
+    imdb::PlanBuilder b(*pd_->db);
+    b.scanFieldWord(pd_->a, w, t0, t1, b.costs().aggregate);
+    return Request{RequestClass::Olap, b.take(), arrival};
+}
+
+} // namespace rcnvm::olxp

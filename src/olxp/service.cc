@@ -1,0 +1,207 @@
+#include "olxp/service.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace rcnvm::olxp {
+
+namespace {
+
+/** Percentile-formula factory over a registered histogram name. */
+util::StatRegistry::Formula
+percentileOf(std::string name, double p)
+{
+    return [name = std::move(name), p](const util::StatRegistry &r) {
+        return r.histogram(name).percentile(p);
+    };
+}
+
+} // namespace
+
+QueryScheduler::QueryScheduler(cpu::Machine &machine,
+                               const workload::PlacedDatabase &pd,
+                               const ServiceConfig &config)
+    : machine_(machine),
+      cfg_(config),
+      // Streams draw from seeds offset per source so OLTP and OLAP
+      // sequences stay decoupled: changing one stream's consumption
+      // never perturbs the other.
+      oltpGen_(pd, config.oltpInterArrival,
+               config.oltpUpdateFraction,
+               (config.seed ? config.seed : machine.config().seed) +
+                   0x01),
+      olapGen_(pd, config.olapTuplesPerScan, config.olapFields,
+               (config.seed ? config.seed : machine.config().seed) +
+                   0x02),
+      executing_(machine.coreCount())
+{
+    if (machine_.coreCount() == 0)
+        rcnvm_fatal("service scheduler needs at least one core");
+    registerStats();
+}
+
+void
+QueryScheduler::registerStats()
+{
+    util::StatRegistry &r = machine_.registry();
+    r.addHistogram("olxp.oltpLatency", oltpLatency_);
+    r.addHistogram("olxp.olapLatency", olapLatency_);
+    r.addCounter("olxp.oltpGenerated", oltpGenerated_);
+    r.addCounter("olxp.olapGenerated", olapGenerated_);
+    r.addCounter("olxp.oltpCompleted", oltpCompleted_);
+    r.addCounter("olxp.olapCompleted", olapCompleted_);
+    r.addCounter("olxp.oltpRejected", oltpRejected_);
+    r.addCounter("olxp.olapRejected", olapRejected_);
+    r.addGauge("olxp.queuePeak", [this] {
+        return static_cast<double>(queuePeak_);
+    });
+    for (const char *cls : {"oltp", "olap"}) {
+        const std::string hist =
+            std::string("olxp.") + cls + "Latency";
+        r.addFormula(hist + "P50", percentileOf(hist, 0.50));
+        r.addFormula(hist + "P95", percentileOf(hist, 0.95));
+        r.addFormula(hist + "P99", percentileOf(hist, 0.99));
+    }
+    if (sim::EpochSampler *sampler = machine_.epochSampler()) {
+        sampler->addGauge("olxp.queueDepth", [this] {
+            return static_cast<double>(queue_.size());
+        });
+        sampler->addGauge("olxp.inFlight", [this] {
+            return static_cast<double>(inFlightCount_);
+        });
+    }
+}
+
+ServiceResult
+QueryScheduler::run()
+{
+    sim::EventQueue &eq = machine_.eventQueue();
+
+    // Closed-loop background first: each stream's initial scan is on
+    // the machine from tick zero.
+    for (unsigned s = 0; s < cfg_.olapStreams; ++s) {
+        olapGenerated_.inc();
+        enqueue(olapGen_.make(eq.now()));
+    }
+    dispatch();
+    scheduleNextOltpArrival();
+
+    cpu::RunResult rr = machine_.serve();
+
+    if (!queue_.empty() || inFlightCount_ != 0)
+        rcnvm_panic("service drain left ", queue_.size(),
+                    " queued and ", inFlightCount_,
+                    " in-flight requests");
+
+    ServiceResult result;
+    result.run = std::move(rr);
+    result.oltpGenerated = oltpGenerated_.value();
+    result.oltpCompleted = oltpCompleted_.value();
+    result.oltpRejected = oltpRejected_.value();
+    result.olapGenerated = olapGenerated_.value();
+    result.olapCompleted = olapCompleted_.value();
+    result.olapRejected = olapRejected_.value();
+    result.oltpP50 = oltpLatency_.percentile(0.50);
+    result.oltpP95 = oltpLatency_.percentile(0.95);
+    result.oltpP99 = oltpLatency_.percentile(0.99);
+    result.olapP50 = olapLatency_.percentile(0.50);
+    result.olapP95 = olapLatency_.percentile(0.95);
+    result.olapP99 = olapLatency_.percentile(0.99);
+    return result;
+}
+
+void
+QueryScheduler::scheduleNextOltpArrival()
+{
+    sim::EventQueue &eq = machine_.eventQueue();
+    const Tick when = eq.now() + oltpGen_.nextGap();
+    if (when >= cfg_.horizon)
+        return; // open loop closed for business; the run drains
+    eq.schedule(when, [this] { onOltpArrival(); });
+}
+
+void
+QueryScheduler::onOltpArrival()
+{
+    oltpGenerated_.inc();
+    // A full queue counts the reject inside submit().
+    submit(oltpGen_.make(machine_.eventQueue().now()));
+    scheduleNextOltpArrival();
+}
+
+bool
+QueryScheduler::submit(Request request)
+{
+    if (queue_.size() >= cfg_.runQueueCapacity) {
+        oltpRejected_.inc();
+        return false;
+    }
+    enqueue(std::move(request));
+    dispatch();
+    return true;
+}
+
+void
+QueryScheduler::enqueue(Request request)
+{
+    queue_.push_back(std::move(request));
+    queuePeak_ = std::max(queuePeak_, queue_.size());
+}
+
+void
+QueryScheduler::dispatch()
+{
+    while (!queue_.empty()) {
+        int core = -1;
+        for (unsigned c = 0; c < machine_.coreCount(); ++c) {
+            if (!executing_[c].has_value() && machine_.coreIdle(c)) {
+                core = static_cast<int>(c);
+                break;
+            }
+        }
+        if (core < 0)
+            return;
+
+        executing_[core].emplace(std::move(queue_.front()));
+        queue_.pop_front();
+        ++inFlightCount_;
+        machine_.startOnCore(
+            static_cast<unsigned>(core), executing_[core]->plan,
+            [this, core](Tick t) {
+                onComplete(static_cast<unsigned>(core), t);
+            });
+    }
+}
+
+void
+QueryScheduler::onComplete(unsigned core, Tick finish)
+{
+    Request &req = *executing_[core];
+    const Tick latency =
+        finish > req.arrival ? finish - req.arrival : Tick{0};
+    const RequestClass cls = req.cls;
+    if (cls == RequestClass::Oltp) {
+        oltpLatency_.sample(latency);
+        oltpCompleted_.inc();
+    } else {
+        olapLatency_.sample(latency);
+        olapCompleted_.inc();
+    }
+
+    // The core no longer touches the finished plan, so the request
+    // can be destroyed before the core is reused.
+    executing_[core].reset();
+    --inFlightCount_;
+
+    if (cls == RequestClass::Olap &&
+        machine_.eventQueue().now() < cfg_.horizon) {
+        // Closed loop: the stream's next scan replaces this one.
+        olapGenerated_.inc();
+        enqueue(olapGen_.make(machine_.eventQueue().now()));
+    }
+    dispatch();
+}
+
+} // namespace rcnvm::olxp

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The OLXP service layer: sustained concurrent query traffic on one
+ * simulated machine.
+ *
+ * Where cpu::Machine::run replays a fixed plan per core to
+ * completion, the QueryScheduler turns the machine into a
+ * traffic-serving system: request generators seed arrival events
+ * into the machine's event queue, requests park in a bounded run
+ * queue (admission control — arrivals beyond the bound are rejected
+ * and counted), and the scheduler dispatches the queue head onto
+ * cores the moment they free up mid-simulation. Per-request latency
+ * (arrival to completion, queue wait included) is recorded into
+ * per-class log2 histograms registered in the machine's
+ * StatRegistry, with p50/p95/p99 extracted as report-time formulas —
+ * so tail latency rides in the same snapshot/JSON pipeline as every
+ * other statistic.
+ */
+
+#ifndef RCNVM_OLXP_SERVICE_HH_
+#define RCNVM_OLXP_SERVICE_HH_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "olxp/generators.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+#include "workload/queries.hh"
+
+namespace rcnvm::olxp {
+
+/** Configuration of one service run. */
+struct ServiceConfig {
+    /** Mean OLTP inter-arrival gap in ticks (offered load =
+     *  1 / oltpInterArrival requests per tick). */
+    Tick oltpInterArrival = 100000;
+    /** Fraction of OLTP requests that also write one field. */
+    double oltpUpdateFraction = 0.2;
+    /** Concurrent closed-loop OLAP scan streams (0 = no
+     *  background). */
+    unsigned olapStreams = 1;
+    /** Tuples covered by one OLAP scan request. */
+    std::uint64_t olapTuplesPerScan = 2048;
+    /** Distinct fields the OLAP scans aggregate over (0 = all): the
+     *  column working set of the analytic background. */
+    unsigned olapFields = 2;
+    /** Generators stop producing at this tick; in-flight and queued
+     *  requests then drain and the run ends. */
+    Tick horizon = 20000000;
+    /** Run-queue bound: open-loop arrivals finding this many
+     *  requests queued are rejected. */
+    unsigned runQueueCapacity = 64;
+    /** Generator seed; 0 uses the machine's MachineConfig::seed
+     *  (which itself defaults through RCNVM_SEED). */
+    std::uint64_t seed = 0;
+};
+
+/** Outcome of one service run. */
+struct ServiceResult {
+    cpu::RunResult run; //!< drained-run ticks + stats snapshot
+
+    std::uint64_t oltpGenerated = 0;
+    std::uint64_t oltpCompleted = 0;
+    std::uint64_t oltpRejected = 0;
+    std::uint64_t olapGenerated = 0;
+    std::uint64_t olapCompleted = 0;
+    std::uint64_t olapRejected = 0; //!< always 0 (closed loop)
+
+    double oltpP50 = 0, oltpP95 = 0, oltpP99 = 0; //!< ticks
+    double olapP50 = 0, olapP95 = 0, olapP99 = 0; //!< ticks
+
+    /** Completed OLTP requests per microsecond of service time. */
+    double oltpThroughput() const
+    {
+        const double us = static_cast<double>(run.ticks) / 1.0e6;
+        return us > 0 ? static_cast<double>(oltpCompleted) / us : 0;
+    }
+};
+
+/**
+ * Compiles requests on the fly and serves them on a machine's cores.
+ *
+ * One scheduler attaches to one machine: construction registers the
+ * service statistics (names below) into the machine's registry, so
+ * the scheduler must outlive any later snapshot of that machine.
+ *
+ *   olxp.oltpLatency / olxp.olapLatency     log2 histograms (ticks)
+ *   olxp.<class>Latency{P50,P95,P99}        formula percentiles
+ *   olxp.<class>{Generated,Completed,Rejected}  counters
+ *   olxp.queuePeak                          gauge (high-water mark)
+ *
+ * When the machine has an epoch sampler, a `olxp.queueDepth` gauge
+ * is attached so the run-queue backlog shows up in the time series.
+ */
+class QueryScheduler
+{
+  public:
+    QueryScheduler(cpu::Machine &machine,
+                   const workload::PlacedDatabase &pd,
+                   const ServiceConfig &config);
+
+    /** Prime the generators, serve until the horizon passes and all
+     *  traffic drains, and collect the result. */
+    ServiceResult run();
+
+    // --- Introspection (tests drive submit/dispatch directly). ---
+
+    /** Submit one request through admission control.
+     *  @return false when the run queue is full (request dropped
+     *  and counted as rejected). */
+    bool submit(Request request);
+
+    /** Requests parked in the run queue. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Highest run-queue depth observed. */
+    std::size_t queuePeak() const { return queuePeak_; }
+
+    /** Requests dispatched onto a core and not yet completed. */
+    unsigned inFlight() const { return inFlightCount_; }
+
+    /** Completed-request latency histogram of @p cls. */
+    const util::Log2Histogram &latencyHistogram(RequestClass cls) const
+    {
+        return cls == RequestClass::Oltp ? oltpLatency_
+                                         : olapLatency_;
+    }
+
+    /** Completions of @p cls so far. */
+    std::uint64_t completed(RequestClass cls) const
+    {
+        return (cls == RequestClass::Oltp ? oltpCompleted_
+                                          : olapCompleted_)
+            .value();
+    }
+
+    /** Open-loop rejects so far. */
+    std::uint64_t rejected() const { return oltpRejected_.value(); }
+
+  private:
+    void registerStats();
+    void scheduleNextOltpArrival();
+    void onOltpArrival();
+    /** Enqueue bypassing admission (closed-loop resubmission: the
+     *  stream count bounds these at olapStreams). */
+    void enqueue(Request request);
+    /** Start queued requests on idle cores until one side runs out. */
+    void dispatch();
+    void onComplete(unsigned core, Tick finish);
+
+    cpu::Machine &machine_;
+    ServiceConfig cfg_;
+    OltpGenerator oltpGen_;
+    OlapGenerator olapGen_;
+
+    std::deque<Request> queue_;
+    std::vector<std::optional<Request>> executing_; //!< per core
+    unsigned inFlightCount_ = 0;
+    std::size_t queuePeak_ = 0;
+
+    util::Log2Histogram oltpLatency_;
+    util::Log2Histogram olapLatency_;
+    util::Counter oltpGenerated_;
+    util::Counter olapGenerated_;
+    util::Counter oltpCompleted_;
+    util::Counter olapCompleted_;
+    util::Counter oltpRejected_;
+    util::Counter olapRejected_; //!< stays 0; exported for symmetry
+};
+
+} // namespace rcnvm::olxp
+
+#endif // RCNVM_OLXP_SERVICE_HH_

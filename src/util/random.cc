@@ -1,6 +1,7 @@
 #include "util/random.hh"
 
 #include <cassert>
+#include <cstdlib>
 
 namespace rcnvm::util {
 
@@ -79,6 +80,14 @@ bool
 Random::nextBool(double p)
 {
     return nextDouble() < p;
+}
+
+std::uint64_t
+envSeed(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("RCNVM_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
 }
 
 } // namespace rcnvm::util

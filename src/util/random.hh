@@ -42,6 +42,15 @@ class Random
     std::uint64_t s_[4];
 };
 
+/**
+ * The experiment seed: the RCNVM_SEED environment variable when set
+ * (parsed as an unsigned decimal), otherwise @p fallback. All
+ * seed-taking entry points (table generation, the OLXP service
+ * generators) default through this, so one variable reseeds a whole
+ * run without recompiling.
+ */
+std::uint64_t envSeed(std::uint64_t fallback);
+
 } // namespace rcnvm::util
 
 #endif // RCNVM_UTIL_RANDOM_HH_

@@ -1,5 +1,6 @@
 #include "util/stats.hh"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace rcnvm::util {
@@ -25,6 +26,25 @@ Log2Histogram::usedBuckets() const
             return i;
     }
     return 0;
+}
+
+double
+Log2Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(clamped * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= rank)
+            return static_cast<double>(bucketLow(i));
+    }
+    return static_cast<double>(bucketLow(kBuckets - 1));
 }
 
 void

@@ -122,6 +122,14 @@ class Log2Histogram
     /** Samples in bucket @p i. */
     std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
 
+    /**
+     * The @p p quantile (p in [0, 1]) at bucket resolution: the left
+     * edge of the bucket containing the ceil(p * count)-th smallest
+     * sample — a lower bound on the true quantile that is exact
+     * within the factor-of-two bucket width. 0 when empty.
+     */
+    double percentile(double p) const;
+
     /** Highest non-empty bucket index plus one (0 when empty). */
     unsigned usedBuckets() const;
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cpu/machine.hh"
 
 namespace rcnvm::cpu {
@@ -204,6 +206,81 @@ TEST(MachineTest, SequentialLoadTraceGolden)
     EXPECT_LE(r.stats.get("mem.busUtilization"), 1.0);
     // One scheduler wakeup per bus slot, none duplicated.
     EXPECT_EQ(r.stats.get("mem.wakeups"), 4095.0);
+}
+
+TEST(MachineTest, ZeroPlansRunsToCompletion)
+{
+    Machine machine(smallMachine());
+    const RunResult r =
+        machine.run(std::vector<AccessPlan>{});
+    EXPECT_EQ(r.ticks, 0u);
+}
+
+TEST(MachineTest, FewerPlansThanCoresLeavesTheRestIdle)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::compute(100)};
+    // Two plans on a four-core machine: idle cores contribute no
+    // time and no operations.
+    const RunResult r =
+        machine.run(std::vector<AccessPlan>{plan, plan});
+    EXPECT_EQ(r.ticks, 100u * 500u);
+    EXPECT_DOUBLE_EQ(r.stats.get("cpu.memOps"), 0.0);
+}
+
+TEST(MachineTest, BackToBackRunsNeedNoReset)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::load(0x4000), MemOp::compute(10)};
+    const RunResult first = machine.run(plan);
+    // A second run on the same machine starts immediately; its
+    // counters continue accumulating (no implicit reset).
+    const RunResult second = machine.run(plan);
+    EXPECT_GT(first.ticks, 0u);
+    EXPECT_GT(second.ticks, 0u);
+    EXPECT_DOUBLE_EQ(second.stats.get("cpu.memOps"), 2.0);
+    // Warm caches make the replay no slower than the cold run.
+    EXPECT_LE(second.ticks, first.ticks);
+}
+
+TEST(MachineTest, ServeWithNoTrafficReturnsImmediately)
+{
+    Machine machine(smallMachine());
+    const RunResult r = machine.serve();
+    EXPECT_EQ(r.ticks, 0u);
+}
+
+TEST(MachineTest, StartOnCoreRunsUnderServe)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan{MemOp::compute(100)};
+    Tick finished = 0;
+    machine.startOnCore(2, plan,
+                        [&finished](Tick t) { finished = t; });
+    EXPECT_FALSE(machine.coreIdle(2));
+    EXPECT_TRUE(machine.coreIdle(0));
+    const RunResult r = machine.serve();
+    EXPECT_EQ(finished, 100u * 500u);
+    EXPECT_EQ(r.ticks, 100u * 500u);
+    EXPECT_TRUE(machine.coreIdle(2));
+}
+
+TEST(MachineTest, QueueWaitTailIsExported)
+{
+    Machine machine(smallMachine());
+    AccessPlan plan;
+    for (unsigned i = 0; i < 64; ++i)
+        plan.push_back(MemOp::load(Addr{i} * 64));
+    const RunResult r = machine.run(plan);
+    // The p99 controller queue-wait formula rides in the snapshot:
+    // a log2-bucket left edge, so zero or a power of two.
+    ASSERT_TRUE(r.stats.contains("mem.queueWaitP99"));
+    const double p99 = r.stats.get("mem.queueWaitP99");
+    EXPECT_GE(p99, 0.0);
+    if (p99 > 0.0) {
+        const double l = std::log2(p99);
+        EXPECT_DOUBLE_EQ(l, std::floor(l));
+    }
 }
 
 TEST(MachineDeathTest, TooManyPlansIsFatal)

@@ -351,6 +351,41 @@ TEST(Stats, HistogramBucketBoundaries)
     EXPECT_EQ(Log2Histogram::bucketLow(4), 8u);
 }
 
+TEST(Stats, HistogramPercentileReturnsBucketLeftEdge)
+{
+    Log2Histogram h;
+    for (std::uint64_t v = 1; v <= 8; ++v)
+        h.sample(v); // buckets: 1:[1] 2:[2,3] 3:[4..7] 4:[8]
+    // rank = ceil(p * 8): p50 -> 4th smallest (value 4, bucket 3,
+    // left edge 4); p95/p99 -> 8th smallest (value 8, edge 8).
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 8.0);
+    // p at or below the first sample's bucket share returns its edge.
+    EXPECT_DOUBLE_EQ(h.percentile(0.125), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+    // Out-of-range p clamps instead of reading past the buckets.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 8.0);
+}
+
+TEST(Stats, HistogramPercentileEdgeCases)
+{
+    Log2Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+
+    Log2Histogram zeros;
+    zeros.sample(0);
+    zeros.sample(0);
+    EXPECT_DOUBLE_EQ(zeros.percentile(0.99), 0.0); // bucket 0 = zero
+
+    Log2Histogram one;
+    one.sample(1000); // [512, 1024) -> edge 512
+    EXPECT_DOUBLE_EQ(one.percentile(0.50), 512.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.99), 512.0);
+}
+
 TEST(Stats, HistogramMergeAddsBuckets)
 {
     Log2Histogram a, b;

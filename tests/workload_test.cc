@@ -41,6 +41,22 @@ TEST(QuerySpecs, FifteenQueriesInTable2)
     }
 }
 
+TEST(QuerySpecs, SuiteSizeConstantsMatchTable2)
+{
+    // The engine compiles all of Table 2; the timed suite is the
+    // prefix that excludes the Q14/Q15 group-caching studies.
+    EXPECT_EQ(allQueries().size(), kQueryCount);
+    EXPECT_LT(kTimedQueryCount, kQueryCount);
+    for (unsigned i = 0; i < kTimedQueryCount; ++i) {
+        EXPECT_STRNE(allQueries()[i].category, "group-caching")
+            << allQueries()[i].name;
+    }
+    EXPECT_STREQ(allQueries()[kTimedQueryCount].category,
+                 "group-caching");
+    EXPECT_STREQ(allQueries()[kQueryCount - 1].category,
+                 "group-caching");
+}
+
 TEST(TableSetTest, StandardTablesMatchSection62)
 {
     Fixture f;
