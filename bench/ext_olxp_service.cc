@@ -37,13 +37,13 @@ using namespace rcnvm;
 namespace {
 
 struct SweepPoint {
-    Tick interArrival = 0; //!< mean OLTP inter-arrival gap (ticks)
+    Tick interArrival{0}; //!< mean OLTP inter-arrival gap (ticks)
     olxp::ServiceResult result;
 
     /** Offered load in requests per microsecond (1 us = 1e6 ticks). */
     double offered() const
     {
-        return 1.0e6 / static_cast<double>(interArrival);
+        return 1.0e6 / static_cast<double>(interArrival.value());
     }
 };
 
@@ -98,9 +98,11 @@ main(int argc, char **argv)
     // the offered load; the lightest point is the per-device p99
     // baseline the knee is measured against.
     const std::vector<Tick> loads =
-        smoke ? std::vector<Tick>{200000, 100000, 50000}
-              : std::vector<Tick>{200000, 100000, 50000, 25000,
-                                  12500, 6250};
+        smoke ? std::vector<Tick>{Tick{200000}, Tick{100000},
+                                  Tick{50000}}
+              : std::vector<Tick>{Tick{200000}, Tick{100000},
+                                  Tick{50000}, Tick{25000},
+                                  Tick{12500}, Tick{6250}};
 
     const workload::TableSet tables =
         workload::TableSet::standard(tuples, 1024, seed);
@@ -135,7 +137,7 @@ main(int argc, char **argv)
             point.result = scheduler.run();
             if (artifacts.enabled()) {
                 artifacts.record(std::string(mem::toString(kind)) +
-                                     "-ia" + std::to_string(ia),
+                                     "-ia" + std::to_string(ia.value()),
                                  point.result.run.stats,
                                  point.result.run.ticks);
             }

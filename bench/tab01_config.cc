@@ -20,11 +20,12 @@ printDevice(util::TablePrinter &t, mem::DeviceKind kind)
     const mem::TimingParams p = mem::timingFor(kind);
     const mem::Geometry g = mem::geometryFor(kind);
     const double period_ns =
-        static_cast<double>(p.clkPeriod) / ticksPerNs;
+        static_cast<double>(p.clkPeriod.value()) /
+        static_cast<double>(ticksPerNs.value());
     t.addRow({toString(kind),
               bench::num(1000.0 / period_ns, 0) + " MT/s",
-              std::to_string(p.tCAS), std::to_string(p.tRCD),
-              std::to_string(p.tRP), std::to_string(p.tRAS),
+              std::to_string(p.tCAS.value()), std::to_string(p.tRCD.value()),
+              std::to_string(p.tRP.value()), std::to_string(p.tRAS.value()),
               std::to_string(g.channels),
               std::to_string(g.ranksPerChannel),
               std::to_string(g.banksPerRank),
@@ -36,12 +37,12 @@ printDevice(util::TablePrinter &t, mem::DeviceKind kind)
                              (1 << 30),
                          0) +
                   " GB",
-              bench::num(static_cast<double>(p.cyc(p.tRCD)) /
-                             ticksPerNs,
+              bench::num(static_cast<double>(p.cyc(p.tRCD).value()) /
+                             static_cast<double>(ticksPerNs.value()),
                          1) +
                   " ns",
-              bench::num(static_cast<double>(p.cyc(p.tWR)) /
-                             ticksPerNs,
+              bench::num(static_cast<double>(p.cyc(p.tWR).value()) /
+                             static_cast<double>(ticksPerNs.value()),
                          1) +
                   " ns"});
 }

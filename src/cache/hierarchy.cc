@@ -33,17 +33,17 @@ Hierarchy::setRetryHandler(unsigned core, RetryFn fn)
     retryHandlers_.at(core) = std::move(fn);
 }
 
-Cycles
+CpuCycles
 Hierarchy::onL3Fill(const LineKey &key)
 {
     if (!synonymEnabled_)
-        return 0;
+        return CpuCycles{};
     // Orientation filter: when no lines of the other orientation are
     // cached at all, the crossing probe is skipped at zero cost.
     if (l3_->linesWithOrientation(flip(key.orient)) == 0)
-        return 0;
+        return CpuCycles{};
 
-    Cycles extra = config_.synonymProbe;
+    CpuCycles extra = config_.synonymProbe;
     synonymProbes_.inc(SynonymMapper::wordsPerLine);
 
     CacheLine *self = l3_->find(key);
@@ -55,26 +55,26 @@ Hierarchy::onL3Fill(const LineKey &key)
         if (self)
             self->crossing |= std::uint8_t(1u << c.selfWord);
         partner->crossing |= std::uint8_t(1u << c.partnerWord);
-        extra += 1; // copy the shared word across
+        extra += CpuCycles{1}; // copy the shared word across
     }
-    synonymTicks_.inc(config_.cpuPeriod * extra);
+    synonymTicks_.inc(config_.cyc(extra).value());
     return extra;
 }
 
-Cycles
+CpuCycles
 Hierarchy::onWrite(unsigned core, const LineKey &key, unsigned word)
 {
     if (!synonymEnabled_)
-        return 0;
+        return CpuCycles{};
     CacheLine *self = l3_->find(key);
     if (!self || !(self->crossing & (1u << word)))
-        return 0;
+        return CpuCycles{};
 
     // Keep the duplicated word coherent: update the crossed line in
     // the shared L3 and in any private copies.
     const Crossing c = synonym_.crossingOfWord(key, word);
     CacheLine *partner = l3_->find(c.partner);
-    Cycles extra = config_.synonymUpdate;
+    CpuCycles extra = config_.synonymUpdate;
     if (partner)
         partner->state = MesiState::Modified;
     for (unsigned i = 0; i < config_.cores; ++i) {
@@ -91,7 +91,7 @@ Hierarchy::onWrite(unsigned core, const LineKey &key, unsigned word)
         own2->state = MesiState::Modified;
 
     synonymUpdates_.inc();
-    synonymTicks_.inc(config_.cpuPeriod * extra);
+    synonymTicks_.inc(config_.cyc(extra).value());
     return extra;
 }
 
@@ -100,7 +100,7 @@ Hierarchy::onL3Evict(const Cache::Victim &victim)
 {
     if (!synonymEnabled_ || victim.crossing == 0)
         return;
-    Cycles cleanup = 0;
+    CpuCycles cleanup;
     for (unsigned w = 0; w < SynonymMapper::wordsPerLine; ++w) {
         if (!(victim.crossing & (1u << w)))
             continue;
@@ -111,7 +111,7 @@ Hierarchy::onL3Evict(const Cache::Victim &victim)
     }
     // Clean-up happens off the critical path but still consumes tag
     // bandwidth; account it in the overhead statistic.
-    synonymTicks_.inc(config_.cpuPeriod * cleanup);
+    synonymTicks_.inc(config_.cyc(cleanup).value());
 }
 
 void
@@ -220,7 +220,7 @@ Hierarchy::backInvalidate(const LineKey &key, bool &was_dirty)
 }
 
 void
-Hierarchy::fillL3(const LineKey &key, MesiState state, Cycles &extra)
+Hierarchy::fillL3(const LineKey &key, MesiState state, CpuCycles &extra)
 {
     auto victim = l3_->insert(key, state);
     if (victim && victim->state != MesiState::Invalid) {
@@ -262,10 +262,10 @@ Hierarchy::fillPrivate(unsigned core, const LineKey &key,
     }
 }
 
-Cycles
+CpuCycles
 Hierarchy::coherenceOnRead(unsigned core, const LineKey &key)
 {
-    Cycles extra = 0;
+    CpuCycles extra;
     for (unsigned i = 0; i < config_.cores; ++i) {
         if (i == core)
             continue;
@@ -283,18 +283,17 @@ Hierarchy::coherenceOnRead(unsigned core, const LineKey &key)
             if (CacheLine *l3line = l3_->find(key))
                 l3line->state = MesiState::Modified;
             cohRemoteFetches_.inc();
-            cohTicks_.inc(config_.cpuPeriod *
-                          config_.remoteFetchPenalty);
+            cohTicks_.inc(config_.cyc(config_.remoteFetchPenalty).value());
             extra += config_.remoteFetchPenalty;
         }
     }
     return extra;
 }
 
-Cycles
+CpuCycles
 Hierarchy::coherenceOnWrite(unsigned core, const LineKey &key)
 {
-    Cycles extra = 0;
+    CpuCycles extra;
     bool any = false;
     for (unsigned i = 0; i < config_.cores; ++i) {
         if (i == core)
@@ -306,7 +305,7 @@ Hierarchy::coherenceOnWrite(unsigned core, const LineKey &key)
     }
     if (any) {
         cohInvalidations_.inc();
-        cohTicks_.inc(config_.cpuPeriod * config_.invalidatePenalty);
+        cohTicks_.inc(config_.cyc(config_.invalidatePenalty).value());
         extra += config_.invalidatePenalty;
     }
     return extra;
@@ -344,7 +343,7 @@ Hierarchy::onFillComplete(unsigned mshr_idx)
     fillScratch_.swap(entry->targets);
     mshrs_.free(*entry);
 
-    Cycles extra = 0;
+    CpuCycles extra;
     fillL3(key, any_write ? MesiState::Modified : MesiState::Exclusive,
            extra);
 
@@ -352,7 +351,7 @@ Hierarchy::onFillComplete(unsigned mshr_idx)
         if (t.prefetchOnly) {
             // Group-caching prefetch: the line is in the LLC now;
             // only the fill-side synonym work is on its path.
-            eq_.scheduleAfter(config_.cpuPeriod * extra,
+            eq_.scheduleAfter(config_.cyc(extra),
                               [done = std::move(t.done),
                                this]() mutable { done(eq_.now()); });
             continue;
@@ -362,7 +361,7 @@ Hierarchy::onFillComplete(unsigned mshr_idx)
         // fill and synonym probe run.
         l1_[t.core]->prefetchSet(key);
         l2_[t.core]->prefetchSet(key);
-        Cycles textra = extra;
+        CpuCycles textra = extra;
         if (t.isWrite) {
             textra += coherenceOnWrite(t.core, key);
             textra += onWrite(t.core, key, t.word);
@@ -372,8 +371,7 @@ Hierarchy::onFillComplete(unsigned mshr_idx)
             : (demand_targets == 1 && !any_write) ? MesiState::Exclusive
                                                   : MesiState::Shared;
         fillPrivate(t.core, key, st);
-        const Tick fill =
-            config_.cpuPeriod * (config_.l1Latency + textra);
+        const Tick fill = config_.cyc(config_.l1Latency + textra);
         eq_.scheduleAfter(fill, [done = std::move(t.done),
                                  this]() mutable { done(eq_.now()); });
     }
@@ -398,9 +396,9 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         req.isWrite = a.isWrite;
         req.gathered = true;
         req.origin = core;
-        const Tick path =
-            config_.cpuPeriod * (config_.l1Latency + config_.l2Latency +
-                                 config_.l3Latency);
+        const Tick path = config_.cyc(config_.l1Latency +
+                                      config_.l2Latency +
+                                      config_.l3Latency);
         req.onComplete = [done = std::move(done)](Tick t) mutable {
             done(t);
         };
@@ -440,7 +438,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         if (l3_->find(key)) {
             accesses_.inc();
             l3Hits_.inc();
-            eq_.scheduleAfter(config_.cpuPeriod * config_.l3Latency,
+            eq_.scheduleAfter(config_.cyc(config_.l3Latency),
                               [done = std::move(done), this]() mutable {
                                   done(eq_.now());
                               });
@@ -468,7 +466,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         req.onComplete = [this, idx = mshrs_.indexOf(*entry)](Tick) {
             onFillComplete(idx);
         };
-        const Tick path = config_.cpuPeriod * config_.l3Latency;
+        const Tick path = config_.cyc(config_.l3Latency);
         eq_.scheduleAfter(path,
                           [this, req = std::move(req)]() mutable {
                               sendPacket(std::move(req));
@@ -476,7 +474,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         return true;
     }
 
-    Cycles lat = config_.l1Latency;
+    CpuCycles lat = config_.l1Latency;
 
     // L1.
     if (CacheLine *line = l1_[core]->find(key)) {
@@ -492,7 +490,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
                 l3line->state = MesiState::Modified;
             lat += onWrite(core, key, word);
         }
-        eq_.scheduleAfter(config_.cpuPeriod * lat,
+        eq_.scheduleAfter(config_.cyc(lat),
                           [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
@@ -520,7 +518,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
                     l2v->state = MesiState::Modified;
             }
         }
-        eq_.scheduleAfter(config_.cpuPeriod * lat,
+        eq_.scheduleAfter(config_.cyc(lat),
                           [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
@@ -541,7 +539,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
             lat += onWrite(core, key, word);
         }
         fillPrivate(core, key, fill_state);
-        eq_.scheduleAfter(config_.cpuPeriod * lat,
+        eq_.scheduleAfter(config_.cyc(lat),
                           [done = std::move(done), this]() mutable {
                               done(eq_.now());
                           });
@@ -559,12 +557,12 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
             // Back-invalidation at eviction removed every private
             // copy, so no coherence traffic is needed; the line
             // re-enters dirty because memory never saw the data.
-            Cycles extra = 0;
+            CpuCycles extra;
             fillL3(key, MesiState::Modified, extra);
             if (a.isWrite)
                 extra += onWrite(core, key, word);
             fillPrivate(core, key, MesiState::Modified);
-            eq_.scheduleAfter(config_.cpuPeriod * (lat + extra),
+            eq_.scheduleAfter(config_.cyc(lat + extra),
                               [done = std::move(done), this]() mutable {
                                   done(eq_.now());
                               });
@@ -599,7 +597,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
             onFillComplete(idx);
         };
 
-    const Tick path = config_.cpuPeriod * lat;
+    const Tick path = config_.cyc(lat);
     eq_.scheduleAfter(path, [this, req = std::move(req)]() mutable {
         sendPacket(std::move(req));
     });

@@ -28,6 +28,7 @@
 #include "cache/mshr.hh"
 #include "cache/synonym.hh"
 #include "mem/memory_system.hh"
+#include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "util/stat_registry.hh"
 #include "util/stats.hh"
@@ -39,24 +40,35 @@ namespace rcnvm::cache {
 /** Static configuration of the whole hierarchy (Table 1 defaults). */
 struct HierarchyConfig {
     unsigned cores = 4;
-    Tick cpuPeriod = 500; //!< 2 GHz; cores read their clock from here
+    Tick cpuPeriod{500}; //!< 2 GHz; cores read their clock from here
 
     CacheConfig l1{"L1", 32 * 1024, 64, 8};
     CacheConfig l2{"L2", 256 * 1024, 64, 8};
     CacheConfig l3{"L3", 8 * 1024 * 1024, 64, 8};
 
-    Cycles l1Latency = 4;
-    Cycles l2Latency = 12;
-    Cycles l3Latency = 38;
-    Cycles remoteFetchPenalty = 40; //!< dirty line in another core
-    Cycles invalidatePenalty = 24;  //!< upgrade invalidations
+    CpuCycles l1Latency{4};
+    CpuCycles l2Latency{12};
+    CpuCycles l3Latency{38};
+    CpuCycles remoteFetchPenalty{40}; //!< dirty line in another core
+    CpuCycles invalidatePenalty{24};  //!< upgrade invalidations
 
-    Cycles synonymProbe = 2;  //!< crossing probe on an L3 fill
-    Cycles synonymUpdate = 2; //!< write-through to a crossed line
-    Cycles synonymCleanup = 1; //!< per bit cleared on eviction
+    CpuCycles synonymProbe{2};  //!< crossing probe on an L3 fill
+    CpuCycles synonymUpdate{2}; //!< write-through to a crossed line
+    CpuCycles synonymCleanup{1}; //!< per bit cleared on eviction
 
     unsigned mshrs = 16;         //!< in-flight line fills (MSHR file)
     unsigned wbBufferDepth = 16; //!< parked dirty evictions
+
+    /** The 2 GHz core clock as a typed domain. */
+    sim::ClockDomain<CpuClk>
+    cpuClock() const
+    {
+        return sim::ClockDomain<CpuClk>(cpuPeriod);
+    }
+
+    /** Ticks for @p c CPU cycles (the only CpuCycles -> Tick
+     *  crossing on the cache path). */
+    Tick cyc(CpuCycles c) const { return cpuClock().cyclesToTicks(c); }
 };
 
 /** One memory operation as seen by the hierarchy. */
@@ -141,16 +153,16 @@ class Hierarchy
 
   private:
     /** Charge and account synonym work on an L3 fill. */
-    Cycles onL3Fill(const LineKey &key);
+    CpuCycles onL3Fill(const LineKey &key);
 
     /** Propagate a write to a crossed line if the bit is set. */
-    Cycles onWrite(unsigned core, const LineKey &key, unsigned word);
+    CpuCycles onWrite(unsigned core, const LineKey &key, unsigned word);
 
     /** Clear partner crossing bits when an L3 line leaves. */
     void onL3Evict(const Cache::Victim &victim);
 
     /** Insert into L3 handling eviction side effects. */
-    void fillL3(const LineKey &key, MesiState state, Cycles &extra);
+    void fillL3(const LineKey &key, MesiState state, CpuCycles &extra);
 
     /** Insert into a private level, maintaining inclusion. */
     void fillPrivate(unsigned core, const LineKey &key,
@@ -160,10 +172,10 @@ class Hierarchy
     void backInvalidate(const LineKey &key, bool &was_dirty);
 
     /** MESI: handle a miss that found the line in other cores. */
-    Cycles coherenceOnRead(unsigned core, const LineKey &key);
+    CpuCycles coherenceOnRead(unsigned core, const LineKey &key);
 
     /** MESI: obtain exclusivity for a write. */
-    Cycles coherenceOnWrite(unsigned core, const LineKey &key);
+    CpuCycles coherenceOnWrite(unsigned core, const LineKey &key);
 
     /** Park a write-back of an evicted dirty line and try to send. */
     void writeback(const LineKey &key);

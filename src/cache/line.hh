@@ -34,6 +34,15 @@ struct LineKey {
     Orientation orient = Orientation::Row;
 
     bool operator==(const LineKey &) const = default;
+
+    /** Build a key from a statically-oriented address; the pair is
+     *  consistent by construction. */
+    template <Orientation O>
+    static LineKey
+    of(OrientedAddr<O> a)
+    {
+        return LineKey{a.value(), O};
+    }
 };
 
 /** Hash for LineKey (used by directory bookkeeping). */

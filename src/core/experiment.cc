@@ -16,10 +16,9 @@ namespace {
 cpu::MachineConfig
 withEpochOverride(cpu::MachineConfig config)
 {
-    if (config.epochTicks == 0) {
+    if (config.epochTicks == Tick{}) {
         if (const char *env = std::getenv("RCNVM_EPOCH_TICKS"))
-            config.epochTicks =
-                static_cast<Tick>(std::strtoull(env, nullptr, 10));
+            config.epochTicks = Tick{std::strtoull(env, nullptr, 10)};
     }
     return config;
 }

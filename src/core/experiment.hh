@@ -19,13 +19,13 @@ namespace rcnvm::core {
 
 /** Result of running one query/benchmark on one device. */
 struct ExperimentResult {
-    Tick ticks = 0;
+    Tick ticks{0};
     util::StatsMap stats;
     /** Per-epoch time series; empty unless epoch sampling was on
      *  (MachineConfig::epochTicks or RCNVM_EPOCH_TICKS). */
     sim::EpochSeries series;
 
-    double cycles() const { return static_cast<double>(ticks) / 500.0; }
+    double cycles() const { return static_cast<double>(ticks.value()) / 500.0; }
     double megacycles() const { return cycles() / 1.0e6; }
 
     /** Demand LLC misses (the Figure-19 metric). */
@@ -59,7 +59,7 @@ struct ExperimentResult {
     double
     coherenceOverheadRatio() const
     {
-        const double total = static_cast<double>(ticks);
+        const double total = static_cast<double>(ticks.value());
         if (total <= 0)
             return 0.0;
         // Overhead ticks accumulate per event across cores;
@@ -125,13 +125,13 @@ class ArtifactWriter
     /** Record a bare stats map (callers without an
      *  ExperimentResult, e.g. raw machine runs). */
     void record(const std::string &label, const util::StatsMap &stats,
-                Tick ticks = 0);
+                Tick ticks = Tick{});
 
   private:
     struct Run {
         std::string label;
         util::StatsMap stats;
-        Tick ticks = 0;
+        Tick ticks{0};
         sim::EpochSeries series;
     };
 

@@ -11,7 +11,7 @@ Core::Core(unsigned id, sim::EventQueue &eq,
       eq_(eq),
       hierarchy_(hierarchy),
       window_(window),
-      cpuPeriod_(hierarchy.config().cpuPeriod)
+      clock_(hierarchy.config().cpuClock())
 {
     hierarchy_.setRetryHandler(id_, [this] { onRetry(); });
 }
@@ -50,7 +50,7 @@ Core::onAccessDone()
     --outstanding_;
     if (stalledFull_) {
         stalledFull_ = false;
-        stallTicks_.inc(eq_.now() - stallStart_);
+        stallTicks_.inc((eq_.now() - stallStart_).value());
     }
     advance();
 }
@@ -63,7 +63,7 @@ Core::onRetry()
     if (!stalledRetry_)
         return;
     stalledRetry_ = false;
-    retryStallTicks_.inc(eq_.now() - retryStallStart_);
+    retryStallTicks_.inc((eq_.now() - retryStallStart_).value());
     advance();
 }
 
@@ -83,21 +83,21 @@ Core::advance()
         const MemOp &op = (*plan_)[pc_];
         switch (op.kind) {
           case OpKind::Compute:
-            readyTick_ = now + Tick{op.computeCycles} * cpuPeriod_;
+            readyTick_ = now + clock_.cyclesToTicks(CpuCycles{op.computeCycles});
             ++pc_;
             continue;
 
           case OpKind::Pin:
             hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
                                 true);
-            readyTick_ = now + 2 * cpuPeriod_;
+            readyTick_ = now + clock_.cyclesToTicks(CpuCycles{2});
             ++pc_;
             continue;
 
           case OpKind::Unpin:
             hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
                                 false);
-            readyTick_ = now + 2 * cpuPeriod_;
+            readyTick_ = now + clock_.cyclesToTicks(CpuCycles{2});
             ++pc_;
             continue;
 
@@ -164,7 +164,7 @@ Core::advance()
             ++outstanding_;
             memOps_.inc();
             ++pc_;
-            readyTick_ = now + cpuPeriod_; // one issue per cycle
+            readyTick_ = now + clock_.period(); // one issue per cycle
             continue;
           }
         }

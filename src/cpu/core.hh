@@ -11,6 +11,7 @@
 
 #include "cache/hierarchy.hh"
 #include "cpu/mem_op.hh"
+#include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
@@ -83,20 +84,21 @@ class Core
     sim::EventQueue &eq_;
     cache::Hierarchy &hierarchy_;
     unsigned window_;
-    Tick cpuPeriod_; //!< from HierarchyConfig: one shared clock
+    sim::ClockDomain<CpuClk> clock_; //!< from HierarchyConfig:
+                                     //!< one shared 2 GHz clock
 
     const AccessPlan *plan_ = nullptr; //!< borrowed from start()
     std::size_t pc_ = 0;
     unsigned outstanding_ = 0;
-    Tick readyTick_ = 0;
+    Tick readyTick_{0};
     bool advanceScheduled_ = false;
     bool stalledFull_ = false;
     bool stalledRetry_ = false;
     bool fencePending_ = false;
     bool finished_ = true;
-    Tick finishTick_ = 0;
-    Tick stallStart_ = 0;
-    Tick retryStallStart_ = 0;
+    Tick finishTick_{0};
+    Tick stallStart_{0};
+    Tick retryStallStart_{0};
     util::UniqueFunction<void(Tick)> onFinish_;
 
     util::Counter memOps_;

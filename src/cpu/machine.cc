@@ -50,7 +50,7 @@ Machine::Machine(const MachineConfig &config) : config_(config)
             });
     }
 
-    if (config_.epochTicks > 0) {
+    if (config_.epochTicks > Tick{}) {
         sampler_ = std::make_unique<sim::EpochSampler>(eq_);
         sampler_->addGauge("mem.queued", [this] {
             return static_cast<double>(memory_->queuedTotal());
@@ -101,7 +101,7 @@ Machine::run(const std::vector<AccessPlan> &plans)
     RunResult result;
     result.ticks = latest - start;
     result.stats = registry_.snapshot();
-    result.stats.set("run.ticks", static_cast<double>(result.ticks));
+    result.stats.set("run.ticks", static_cast<double>(result.ticks.value()));
     if (sampler_) {
         result.series = sampler_->series();
         sampler_->clear();
@@ -145,7 +145,7 @@ Machine::serve()
     RunResult result;
     result.ticks = eq_.now() - start;
     result.stats = registry_.snapshot();
-    result.stats.set("run.ticks", static_cast<double>(result.ticks));
+    result.stats.set("run.ticks", static_cast<double>(result.ticks.value()));
     if (sampler_) {
         result.series = sampler_->series();
         sampler_->clear();

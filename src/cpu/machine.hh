@@ -33,7 +33,7 @@ struct MachineConfig {
     bool salp = false;   //!< subarray-level parallelism extension
     unsigned memQueueCapacity = 32; //!< per-channel queue depth
     /** Epoch-sample period in ticks; 0 disables the time series. */
-    Tick epochTicks = 0;
+    Tick epochTicks{0};
     /**
      * Seed for stochastic components attached to this machine (the
      * OLXP service generators default to it). RCNVM_SEED overrides
@@ -45,13 +45,13 @@ struct MachineConfig {
 
 /** Result of one simulation run. */
 struct RunResult {
-    Tick ticks = 0; //!< wall-clock of the slowest core
+    Tick ticks{0}; //!< wall-clock of the slowest core
     util::StatsMap stats;
     /** Per-epoch time series (empty unless epochTicks was set). */
     sim::EpochSeries series;
 
     /** Execution time in CPU cycles (2 GHz). */
-    double cycles() const { return static_cast<double>(ticks) / 500.0; }
+    double cycles() const { return static_cast<double>(ticks.value()) / 500.0; }
 
     /** Execution time in nanoseconds. */
     double ns() const { return ticksToNs(ticks); }

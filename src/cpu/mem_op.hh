@@ -107,6 +107,41 @@ struct MemOp {
         return MemOp{OpKind::GLoad, a, 64, 0};
     }
 
+    // Typed overloads: call sites that statically know their address
+    // space use the strong types, making an orientation/op mismatch
+    // (a column address fed to a row-oriented load) a compile error.
+
+    static MemOp
+    load(RowAddr a, std::uint32_t bytes = 64)
+    {
+        return load(a.value(), bytes);
+    }
+
+    static MemOp
+    store(RowAddr a, std::uint32_t bytes = 8)
+    {
+        return store(a.value(), bytes);
+    }
+
+    static MemOp
+    cload(ColAddr a, std::uint32_t bytes = 64)
+    {
+        return cload(a.value(), bytes);
+    }
+
+    static MemOp
+    cstore(ColAddr a, std::uint32_t bytes = 8)
+    {
+        return cstore(a.value(), bytes);
+    }
+
+    /** Gathered loads address the row space (GS-DRAM, Sec. 2.3). */
+    static MemOp
+    gload(RowAddr a)
+    {
+        return gload(a.value());
+    }
+
     static MemOp
     cprefetch(Addr a, Orientation orient = Orientation::Column)
     {

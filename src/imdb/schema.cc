@@ -20,6 +20,10 @@ Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields))
     tupleWords_ = offset;
 }
 
+// GCC 12 reports a -Wrestrict false positive (PR 105651) when the
+// small-string concatenation below is inlined at -O3.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
 Schema
 Schema::uniform(unsigned n)
 {
@@ -29,6 +33,7 @@ Schema::uniform(unsigned n)
         fields.push_back(Field{"f" + std::to_string(i), 8});
     return Schema(std::move(fields));
 }
+#pragma GCC diagnostic pop
 
 unsigned
 Schema::fieldIndex(const std::string &name) const

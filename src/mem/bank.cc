@@ -67,7 +67,7 @@ Bank::lookahead(Orientation orient, unsigned subarray, unsigned index,
       case AccessOutcome::OrientationSwitch:
         la.cmdReady = std::max(la.cmdReady,
                                buf.lastActivate + t.cyc(t.tRAS));
-        la.lead += (buf.dirty ? t.cyc(t.tWR) : 0) + t.cyc(t.tRP) +
+        la.lead += (buf.dirty ? t.cyc(t.tWR) : Tick{}) + t.cyc(t.tRP) +
                    t.cyc(t.tRCD);
         break;
     }
@@ -135,7 +135,7 @@ Bank::reset()
 {
     for (Buffer &buf : buffers_)
         buf = Buffer{};
-    nextReady_ = 0;
+    nextReady_ = Tick{};
 }
 
 } // namespace rcnvm::mem

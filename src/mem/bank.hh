@@ -37,10 +37,10 @@ class Bank
   public:
     /** Result of serving one request. */
     struct Service {
-        Tick start = 0;      //!< when the command began
-        Tick dataStart = 0;  //!< when the data burst may begin
-        Tick finish = 0;     //!< when the burst completes
-        Tick busyUntil = 0;  //!< bank internally busy until here
+        Tick start{0};      //!< when the command began
+        Tick dataStart{0};  //!< when the data burst may begin
+        Tick finish{0};     //!< when the burst completes
+        Tick busyUntil{0};  //!< bank internally busy until here
         AccessOutcome outcome = AccessOutcome::BufferHit;
         bool flushedDirty = false; //!< a dirty buffer was written back
     };
@@ -101,8 +101,8 @@ class Bank
      * place bursts against the shared bus without issuing early.
      */
     struct Lookahead {
-        Tick cmdReady = 0; //!< earliest command start
-        Tick lead = 0;     //!< command start to data-burst start
+        Tick cmdReady{0}; //!< earliest command start
+        Tick lead{0};     //!< command start to data-burst start
         bool hit = false;  //!< would be a buffer hit
     };
     Lookahead lookahead(Orientation orient, unsigned subarray,
@@ -124,7 +124,7 @@ class Bank
      */
     Service access(Tick now, Orientation orient, unsigned subarray,
                    unsigned index, bool isWrite, const TimingParams &t,
-                   Tick bus_free = 0);
+                   Tick bus_free = Tick{});
 
     /** Reset to the precharged state (between experiment phases). */
     void reset();
@@ -136,7 +136,7 @@ class Bank
         unsigned subarray = 0;
         unsigned index = 0;
         bool dirty = false;
-        Tick lastActivate = 0;
+        Tick lastActivate{0};
     };
 
     /** The buffer responsible for @p subarray. */
@@ -148,7 +148,7 @@ class Bank
                                   unsigned subarray, unsigned index);
 
     std::vector<Buffer> buffers_; //!< one, or one per subarray (SALP)
-    Tick nextReady_ = 0;
+    Tick nextReady_{0};
 };
 
 } // namespace rcnvm::mem

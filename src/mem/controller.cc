@@ -185,10 +185,10 @@ ChannelController::issueFrom(unsigned b, std::size_t pos)
     else
         (hit ? stats_.colBufferHits : stats_.colBufferMisses).inc();
     stats_.queueWaitTicks.sample(
-        static_cast<double>(s.start - p.enqueueTick));
-    stats_.queueWaitHist.sample(s.start - p.enqueueTick);
+        static_cast<double>((s.start - p.enqueueTick).value()));
+    stats_.queueWaitHist.sample((s.start - p.enqueueTick).value());
     stats_.serviceTicks.sample(
-        static_cast<double>(s.finish - s.start));
+        static_cast<double>((s.finish - s.start).value()));
     RCNVM_TRACE_COMPLETE("queue",
                          util::ChromeTracer::kPidMemBase + channelId_,
                          b, p.enqueueTick, s.start - p.enqueueTick,
@@ -197,7 +197,7 @@ ChannelController::issueFrom(unsigned b, std::size_t pos)
                          util::ChromeTracer::kPidMemBase + channelId_,
                          b, s.start, s.finish - s.start, p.req.addr);
     // A gathered transfer holds the bus for two burst slots.
-    stats_.busBusyTicks.inc(timing_.cyc(timing_.tBURST) *
+    stats_.busBusyTicks.inc(timing_.cyc(timing_.tBURST).value() *
                             (p.req.gathered ? 2u : 1u));
 
     // Energy accounting (extension): activations, bursts, and cell
@@ -348,7 +348,7 @@ ChannelController::reset()
     totalQueued_ = 0;
     for (auto &bank : banks_)
         bank.reset();
-    busFree_ = 0;
+    busFree_ = Tick{};
     cancelWakeup();
     spaceNotifyPending_ = false;
     statsSince_ = eq_.now();

@@ -158,12 +158,15 @@ class ChannelController
     Tick busReadyAt(Tick lead) const
     {
         const Tick slack = std::max(lead, busHorizon());
-        return busFree_ > slack ? busFree_ - slack : 0;
+        return busFree_ > slack ? busFree_ - slack : Tick{};
     }
 
     /** How far ahead of the bus a request may be issued: two
      *  gathered transfers (each two burst slots) of backlog. */
-    Tick busHorizon() const { return 4 * timing_.cyc(timing_.tBURST); }
+    Tick busHorizon() const
+    {
+        return timing_.cyc(timing_.tBURST) * 4;
+    }
 
     const AddressMap &map_;
     TimingParams timing_;
@@ -175,11 +178,11 @@ class ChannelController
     std::vector<unsigned> activeBanks_; //!< banks with pending work
     std::size_t totalQueued_ = 0;
     std::uint64_t nextSeq_ = 0;
-    Tick busFree_ = 0;
-    Tick wakeupAt_ = 0;
+    Tick busFree_{0};
+    Tick wakeupAt_{0};
     bool wakeupScheduled_ = false;
     std::uint64_t wakeupGen_ = 0; //!< cancels superseded wakeups
-    Tick statsSince_ = 0;
+    Tick statsSince_{0};
     ControllerStats stats_;
     std::function<void()> spaceCb_;
     bool spaceNotifyPending_ = false;

@@ -126,6 +126,68 @@ class AddressMap
      */
     Addr lineAddr(Addr a, unsigned lineBytes = 64) const;
 
+    // Typed overloads ---------------------------------------------
+    //
+    // Call sites that statically know their address space use these;
+    // the strong RowAddr/ColAddr types then make it impossible to
+    // hand a column-oriented address to row-oriented code without an
+    // explicit convert() — the compile-time form of the paper's
+    // Row2ColAddr/Col2RowAddr primitive.
+
+    /** Encode a decoded location as an @p O -oriented address. */
+    template <Orientation O>
+    OrientedAddr<O>
+    encode(const DecodedAddr &d) const
+    {
+        return OrientedAddr<O>{encode(d, O)};
+    }
+
+    /** Encode a decoded location as a row-oriented address. */
+    RowAddr
+    encodeRow(const DecodedAddr &d) const
+    {
+        return encode<Orientation::Row>(d);
+    }
+
+    /** Encode a decoded location as a column-oriented address. */
+    ColAddr
+    encodeCol(const DecodedAddr &d) const
+    {
+        return encode<Orientation::Column>(d);
+    }
+
+    /** Decode a statically-oriented address. */
+    template <Orientation O>
+    DecodedAddr
+    decode(OrientedAddr<O> a) const
+    {
+        return decode(a.value(), O);
+    }
+
+    /** Re-express a row-oriented address in column orientation. */
+    ColAddr
+    convert(RowAddr a) const
+    {
+        return ColAddr{
+            convert(a.value(), Orientation::Row, Orientation::Column)};
+    }
+
+    /** Re-express a column-oriented address in row orientation. */
+    RowAddr
+    convert(ColAddr a) const
+    {
+        return RowAddr{
+            convert(a.value(), Orientation::Column, Orientation::Row)};
+    }
+
+    /** Line-align a statically-oriented address (stays oriented). */
+    template <Orientation O>
+    OrientedAddr<O>
+    lineAddr(OrientedAddr<O> a, unsigned lineBytes = 64) const
+    {
+        return OrientedAddr<O>{lineAddr(a.value(), lineBytes)};
+    }
+
   private:
     Geometry geo_;
     unsigned offsetBits_;

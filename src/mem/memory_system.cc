@@ -171,7 +171,7 @@ MemorySystem::registerStats(util::StatRegistry &r) const
                      double elapsed = 0;
                      for (const auto &ch : channels_)
                          elapsed += static_cast<double>(
-                             ch->statsElapsed());
+                             ch->statsElapsed().value());
                      return elapsed > 0
                                 ? g.counter("mem.busBusyTicks") /
                                       elapsed

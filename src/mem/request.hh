@@ -34,6 +34,16 @@ struct MemPacket {
     bool isWrite = false;
     bool gathered = false;
 
+    /** Set the (addr, orient) pair from a statically-oriented
+     *  address; the fields cannot disagree. */
+    template <Orientation O>
+    void
+    setAddr(OrientedAddr<O> a)
+    {
+        addr = a.value();
+        orient = O;
+    }
+
     /** Invoked exactly once with the completion tick. May be empty
      *  for fire-and-forget write-backs. Move-only: a packet owns
      *  its continuation, so completion handlers are never copied.

@@ -28,14 +28,14 @@ TimingParams::ddr3_1333()
     TimingParams t;
     // Cycle unit is the 750 ps transfer (beat) time of DDR3-1333;
     // tRCD + tCAS then matches the paper's 14 ns access time.
-    t.clkPeriod = 750;
-    t.tCAS = 10;
-    t.tRCD = 9;
-    t.tRP = 9;
-    t.tRAS = 24;
-    t.tBURST = 8; // BL8: eight 8-byte beats = 6 ns per line
-    t.tCCD = 8;   // back-to-back bursts saturate the bus
-    t.tWR = 13;   // ~10 ns write recovery
+    t.clkPeriod = Tick{750};
+    t.tCAS = MemCycles{10};
+    t.tRCD = MemCycles{9};
+    t.tRP = MemCycles{9};
+    t.tRAS = MemCycles{24};
+    t.tBURST = MemCycles{8}; // BL8: eight 8-byte beats = 6 ns per line
+    t.tCCD = MemCycles{8};   // back-to-back bursts saturate the bus
+    t.tWR = MemCycles{13};   // ~10 ns write recovery
     t.eActivate = 15000.0; // 2 KB destructive read + restore
     t.eReadBurst = 4000.0;
     t.eWriteBurst = 4500.0;
@@ -47,14 +47,14 @@ TimingParams
 TimingParams::rram()
 {
     TimingParams t;
-    t.clkPeriod = 2500; // LPDDR3-800, 400 MHz clock
-    t.tCAS = 6;
-    t.tRCD = 10; // 25 ns read access time
-    t.tRP = 1;   // no destructive read: nothing to restore
-    t.tRAS = 0;
-    t.tBURST = 4; // eight beats at 800 MT/s = 10 ns per line
-    t.tCCD = 4;
-    t.tWR = 4; // 10 ns write pulse
+    t.clkPeriod = Tick{2500}; // LPDDR3-800, 400 MHz clock
+    t.tCAS = MemCycles{6};
+    t.tRCD = MemCycles{10}; // 25 ns read access time
+    t.tRP = MemCycles{1};   // no destructive read: nothing to restore
+    t.tRAS = MemCycles{0};
+    t.tBURST = MemCycles{4}; // eight beats at 800 MT/s = 10 ns per line
+    t.tCCD = MemCycles{4};
+    t.tWR = MemCycles{4}; // 10 ns write pulse
     // Crossbar sensing reads non-destructively (no restore), but
     // the cell write pulse is expensive.
     t.eActivate = 9000.0;
@@ -68,8 +68,8 @@ TimingParams
 TimingParams::rcNvm()
 {
     TimingParams t = rram();
-    t.tRCD = 12; // 29-30 ns read access: mux + routing overhead
-    t.tWR = 6;   // 15 ns write pulse
+    t.tRCD = MemCycles{12}; // 29-30 ns read access: mux + routing overhead
+    t.tWR = MemCycles{6};   // 15 ns write pulse
     // Extra multiplexers load every access slightly.
     t.eActivate = 9900.0;
     t.eReadBurst = 3850.0;
@@ -82,14 +82,15 @@ TimingParams
 TimingParams::withCellLatency(double read_ns, double write_ns) const
 {
     TimingParams t = *this;
-    const double period_ns =
-        static_cast<double>(clkPeriod) / ticksPerNs;
-    t.tRCD = static_cast<Cycles>(std::ceil(read_ns / period_ns));
-    t.tWR = static_cast<Cycles>(std::ceil(write_ns / period_ns));
-    if (t.tRCD == 0)
-        t.tRCD = 1;
-    if (t.tWR == 0)
-        t.tWR = 1;
+    const double period_ns = ticksToNs(clkPeriod);
+    t.tRCD = MemCycles{static_cast<std::uint64_t>(
+        std::ceil(read_ns / period_ns))};
+    t.tWR = MemCycles{static_cast<std::uint64_t>(
+        std::ceil(write_ns / period_ns))};
+    if (t.tRCD == MemCycles{0})
+        t.tRCD = MemCycles{1};
+    if (t.tWR == MemCycles{0})
+        t.tWR = MemCycles{1};
     return t;
 }
 

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "sim/clock_domain.hh"
 #include "util/types.hh"
 
 namespace rcnvm::mem {
@@ -31,14 +32,14 @@ const char *toString(DeviceKind kind);
  * is the cell write time applied by the write drivers.
  */
 struct TimingParams {
-    Tick clkPeriod = 2500; //!< device clock period in ticks (ps)
-    Cycles tCAS = 6;   //!< column access strobe latency
-    Cycles tRCD = 10;  //!< activate (buffer fill) latency
-    Cycles tRP = 1;    //!< precharge / buffer close latency
-    Cycles tRAS = 0;   //!< minimum activate-to-precharge interval
-    Cycles tBURST = 4; //!< 64-byte burst duration on the bus
-    Cycles tCCD = 4;   //!< CAS-to-CAS gap (burst pipelining)
-    Cycles tWR = 4;    //!< cell write pulse width in cycles
+    Tick clkPeriod{2500};  //!< device clock period in ticks (ps)
+    MemCycles tCAS{6};   //!< column access strobe latency
+    MemCycles tRCD{10};  //!< activate (buffer fill) latency
+    MemCycles tRP{1};    //!< precharge / buffer close latency
+    MemCycles tRAS{0};   //!< minimum activate-to-precharge interval
+    MemCycles tBURST{4}; //!< 64-byte burst duration on the bus
+    MemCycles tCCD{4};   //!< CAS-to-CAS gap (burst pipelining)
+    MemCycles tWR{4};    //!< cell write pulse width in cycles
 
     // Representative per-command energies in picojoules, used by
     // the energy-accounting extension (values follow the usual
@@ -49,8 +50,16 @@ struct TimingParams {
     double eWriteBurst = 4500.0;  //!< one 64-byte write burst
     double eWritePulse = 20000.0; //!< cell write-back of a dirty buffer
 
-    /** Ticks for @p c device cycles. */
-    Tick cyc(Cycles c) const { return c * clkPeriod; }
+    /** This device's bus clock as a `MemClk` clock domain. */
+    sim::ClockDomain<MemClk>
+    clock() const
+    {
+        return sim::ClockDomain<MemClk>(clkPeriod);
+    }
+
+    /** Ticks for @p c device cycles (via the device clock domain,
+     *  the only legal MemCycles -> Tick crossing). */
+    Tick cyc(MemCycles c) const { return clock().cyclesToTicks(c); }
 
     /** DDR3-1333 parameters from Table 1. */
     static TimingParams ddr3_1333();

@@ -32,9 +32,9 @@ OltpGenerator::nextGap()
     // log argument positive.
     const double u = rng_.nextDouble();
     const double gap =
-        -static_cast<double>(meanInterArrival_) * std::log(1.0 - u);
-    const Tick t = static_cast<Tick>(gap);
-    return t < 1 ? Tick{1} : t;
+        -static_cast<double>(meanInterArrival_.value()) * std::log(1.0 - u);
+    const Tick t{static_cast<Tick::value_type>(gap)};
+    return t < Tick{1} ? Tick{1} : t;
 }
 
 Request

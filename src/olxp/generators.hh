@@ -47,7 +47,7 @@ const char *toString(RequestClass cls);
 struct Request {
     RequestClass cls = RequestClass::Oltp;
     cpu::AccessPlan plan;
-    Tick arrival = 0;
+    Tick arrival{0};
 };
 
 /**

@@ -183,10 +183,10 @@ QueryScheduler::onComplete(unsigned core, Tick finish)
         finish > req.arrival ? finish - req.arrival : Tick{0};
     const RequestClass cls = req.cls;
     if (cls == RequestClass::Oltp) {
-        oltpLatency_.sample(latency);
+        oltpLatency_.sample(latency.value());
         oltpCompleted_.inc();
     } else {
-        olapLatency_.sample(latency);
+        olapLatency_.sample(latency.value());
         olapCompleted_.inc();
     }
 

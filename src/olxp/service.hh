@@ -37,7 +37,7 @@ namespace rcnvm::olxp {
 struct ServiceConfig {
     /** Mean OLTP inter-arrival gap in ticks (offered load =
      *  1 / oltpInterArrival requests per tick). */
-    Tick oltpInterArrival = 100000;
+    Tick oltpInterArrival{100000};
     /** Fraction of OLTP requests that also write one field. */
     double oltpUpdateFraction = 0.2;
     /** Concurrent closed-loop OLAP scan streams (0 = no
@@ -50,7 +50,7 @@ struct ServiceConfig {
     unsigned olapFields = 2;
     /** Generators stop producing at this tick; in-flight and queued
      *  requests then drain and the run ends. */
-    Tick horizon = 20000000;
+    Tick horizon{20000000};
     /** Run-queue bound: open-loop arrivals finding this many
      *  requests queued are rejected. */
     unsigned runQueueCapacity = 64;
@@ -76,7 +76,7 @@ struct ServiceResult {
     /** Completed OLTP requests per microsecond of service time. */
     double oltpThroughput() const
     {
-        const double us = static_cast<double>(run.ticks) / 1.0e6;
+        const double us = static_cast<double>(run.ticks.value()) / 1.0e6;
         return us > 0 ? static_cast<double>(oltpCompleted) / us : 0;
     }
 };

@@ -12,11 +12,19 @@
 namespace rcnvm::sim {
 
 /**
- * A fixed-frequency clock domain.
+ * A fixed-frequency clock domain producing @p Dom -tagged cycles.
  *
- * The CPU runs at 2 GHz (500 ps), DDR3-1333 devices at 666 MHz
- * (750 ps bus clock), and LPDDR3-800 devices at 400 MHz (2500 ps).
+ * The CPU runs at 2 GHz (500 ps, tag `CpuClk`), DDR3-1333 devices at
+ * 666 MHz (750 ps bus clock) and LPDDR3-800 devices at 400 MHz
+ * (2500 ps), both tagged `MemClk` — which device a `MemClk` domain
+ * clocks is instance state chosen with the device at runtime.
+ *
+ * The conversion members below are the *only* legal crossings
+ * between `Cycles<Dom>` and `Tick`: the strong types reject every
+ * bare-integer shortcut, so a DDR cycle count can no longer be added
+ * to a CPU deadline without naming the clock that scales it.
  */
+template <typename Dom>
 class ClockDomain
 {
   public:
@@ -27,20 +35,24 @@ class ClockDomain
     Tick period() const { return period_; }
 
     /** Convert a cycle count to a tick duration. */
-    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+    Tick
+    cyclesToTicks(Cycles<Dom> c) const
+    {
+        return period_ * c.value();
+    }
 
     /** Convert a tick duration to whole cycles, rounding up. */
-    Cycles
+    Cycles<Dom>
     ticksToCycles(Tick t) const
     {
-        return (t + period_ - 1) / period_;
+        return Cycles<Dom>{(t + period_ - Tick{1}) / period_};
     }
 
     /** The first clock edge at or after @p t. */
     Tick
     nextEdgeAt(Tick t) const
     {
-        return ((t + period_ - 1) / period_) * period_;
+        return period_ * ((t + period_ - Tick{1}) / period_);
     }
 
   private:
@@ -48,10 +60,17 @@ class ClockDomain
 };
 
 /** CPU clock domain used throughout the paper's configuration. */
-inline ClockDomain
+inline ClockDomain<CpuClk>
 cpuClock()
 {
-    return ClockDomain(500); // 2 GHz
+    return ClockDomain<CpuClk>(Tick{500}); // 2 GHz
+}
+
+/** A memory-device clock domain with the given bus-clock period. */
+inline ClockDomain<MemClk>
+memClock(Tick period_ticks)
+{
+    return ClockDomain<MemClk>(period_ticks);
 }
 
 } // namespace rcnvm::sim

@@ -46,7 +46,7 @@ EpochSeries::writeJson(std::ostream &os) const
 void
 EpochSampler::start(Tick epoch)
 {
-    if (epoch == 0)
+    if (epoch == Tick{})
         rcnvm_panic("epoch sampling period must be non-zero");
     if (running_)
         return;

@@ -82,7 +82,7 @@ class EpochSampler
     EventQueue &eq_;
     std::vector<std::function<double()>> gauges_;
     EpochSeries series_;
-    Tick epoch_ = 0;
+    Tick epoch_{0};
     bool running_ = false;
 };
 

@@ -141,7 +141,7 @@ class EventQueue
     std::vector<Entry> heap_;
     std::vector<Callback> slab_;       //!< parked callbacks
     std::vector<std::uint32_t> free_;  //!< recycled slab slots
-    Tick now_ = 0;
+    Tick now_{0};
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -86,9 +86,9 @@ ChromeTracer::write() const
         os << ",{\"ph\":\"" << e.ph << "\",\"name\":\"" << e.name
            << "\",\"cat\":\"pkt\",\"pid\":" << e.pid
            << ",\"tid\":" << e.tid
-           << ",\"ts\":" << static_cast<double>(e.ts) / 1e6;
+           << ",\"ts\":" << static_cast<double>(e.ts.value()) / 1e6;
         if (e.ph == 'X')
-            os << ",\"dur\":" << static_cast<double>(e.dur) / 1e6;
+            os << ",\"dur\":" << static_cast<double>(e.dur.value()) / 1e6;
         if (e.ph == 'i')
             os << ",\"s\":\"t\"";
         os << ",\"args\":{\"addr\":" << e.addr << "}}";

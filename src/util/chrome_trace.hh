@@ -68,7 +68,7 @@ class ChromeTracer
     instant(const char *name, unsigned pid, unsigned tid, Tick at,
             Addr addr)
     {
-        events_.push_back(Event{name, at, 0, addr, pid, tid, 'i'});
+        events_.push_back(Event{name, at, Tick{}, addr, pid, tid, 'i'});
     }
 
     /** Number of buffered events (tests). */

@@ -70,7 +70,7 @@ std::string jsonEscape(const std::string &s);
 
 /** Serialise one run's statistics as a JSON object (schema above). */
 void writeStatsJson(std::ostream &os, const StatsMap &stats,
-                    const std::string &label = "", Tick ticks = 0);
+                    const std::string &label = "", Tick ticks = Tick{});
 
 /** Rebuild a StatsMap (values and kinds) from a run object parsed
  *  out of writeStatsJson output; throws std::runtime_error when the

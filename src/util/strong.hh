@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Zero-cost tagged-integer wrapper for compile-time unit safety.
+ *
+ * The simulator's scalar vocabulary (ticks, per-domain cycles,
+ * orientation-tagged addresses) is all `std::uint64_t` underneath;
+ * wrapping each quantity in a distinct `Strong<T, Tag>` instantiation
+ * turns accidental cross-unit mixing — a column address handed to a
+ * row-address parameter, DDR cycles added to CPU cycles — into a
+ * compile error while generating exactly the same machine code as
+ * the bare integer.
+ */
+
+#ifndef RCNVM_UTIL_STRONG_HH_
+#define RCNVM_UTIL_STRONG_HH_
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+
+namespace rcnvm::util {
+
+/**
+ * A trivially-copyable wrapper around an arithmetic type @p T whose
+ * identity is the tag type @p Tag.
+ *
+ * Permitted operations, chosen so that dimensionally meaningful code
+ * compiles unchanged and everything else does not:
+ *
+ *  - explicit construction from T; default construction is zero
+ *  - same-tag addition, subtraction, remainder and comparison
+ *  - scaling by a raw T (`q * k`, `k * q`, `q / k`)
+ *  - same-tag division yielding a raw T ratio (`q1 / q2`)
+ *  - `value()`, the audited escape hatch back to the raw T
+ *
+ * There is deliberately no implicit conversion in either direction
+ * and no cross-tag operator: the only way to cross between tags is a
+ * named conversion point (`ClockDomain::cyclesToTicks`,
+ * `AddressMap::convert`, ...) that spells out the unit change.
+ */
+template <typename T, typename Tag>
+class Strong
+{
+    static_assert(std::is_arithmetic_v<T>,
+                  "Strong wraps arithmetic types only");
+
+  public:
+    using value_type = T;
+
+    constexpr Strong() = default;
+    constexpr explicit Strong(T v) : v_(v) {}
+
+    /** The raw value; the audited escape hatch. */
+    constexpr T value() const { return v_; }
+
+    // Same-tag arithmetic -----------------------------------------
+
+    friend constexpr Strong operator+(Strong a, Strong b)
+    {
+        return Strong(a.v_ + b.v_);
+    }
+
+    friend constexpr Strong operator-(Strong a, Strong b)
+    {
+        return Strong(a.v_ - b.v_);
+    }
+
+    friend constexpr Strong operator%(Strong a, Strong b)
+    {
+        return Strong(a.v_ % b.v_);
+    }
+
+    constexpr Strong &
+    operator+=(Strong o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+
+    constexpr Strong &
+    operator-=(Strong o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+
+    // Scaling by the raw representation ---------------------------
+
+    friend constexpr Strong operator*(Strong a, T k)
+    {
+        return Strong(a.v_ * k);
+    }
+
+    friend constexpr Strong operator*(T k, Strong a)
+    {
+        return Strong(k * a.v_);
+    }
+
+    friend constexpr Strong operator/(Strong a, T k)
+    {
+        return Strong(a.v_ / k);
+    }
+
+    /** Ratio of two same-tag quantities is a dimensionless raw T. */
+    friend constexpr T operator/(Strong a, Strong b)
+    {
+        return a.v_ / b.v_;
+    }
+
+    // Comparison --------------------------------------------------
+
+    friend constexpr auto operator<=>(Strong a, Strong b) = default;
+
+    /** Streams the raw value (printing is not a unit hazard). */
+    friend std::ostream &
+    operator<<(std::ostream &os, Strong s)
+    {
+        return os << s.v_;
+    }
+
+  private:
+    T v_{};
+};
+
+} // namespace rcnvm::util
+
+/**
+ * Bounds delegate to the representation. Without this specialization
+ * the primary template silently answers `max() == T()` (zero), which
+ * turns a sentinel like `numeric_limits<Tick>::max()` into a live
+ * tick value instead of "never".
+ */
+template <typename T, typename Tag>
+struct std::numeric_limits<rcnvm::util::Strong<T, Tag>> {
+    static constexpr bool is_specialized = true;
+
+    static constexpr rcnvm::util::Strong<T, Tag>
+    min() noexcept
+    {
+        return rcnvm::util::Strong<T, Tag>{
+            std::numeric_limits<T>::min()};
+    }
+
+    static constexpr rcnvm::util::Strong<T, Tag>
+    max() noexcept
+    {
+        return rcnvm::util::Strong<T, Tag>{
+            std::numeric_limits<T>::max()};
+    }
+};
+
+template <typename T, typename Tag>
+struct std::hash<rcnvm::util::Strong<T, Tag>> {
+    std::size_t
+    operator()(const rcnvm::util::Strong<T, Tag> &s) const noexcept
+    {
+        return std::hash<T>{}(s.value());
+    }
+};
+
+#endif // RCNVM_UTIL_STRONG_HH_

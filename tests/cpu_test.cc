@@ -43,7 +43,7 @@ TEST(MachineTest, EmptyPlanFinishesInstantly)
 {
     Machine machine(smallMachine());
     const RunResult r = machine.run(AccessPlan{});
-    EXPECT_EQ(r.ticks, 0u);
+    EXPECT_EQ(r.ticks, Tick{0});
 }
 
 TEST(MachineTest, ComputeOnlyPlanTakesExactCycles)
@@ -53,7 +53,7 @@ TEST(MachineTest, ComputeOnlyPlanTakesExactCycles)
     plan.push_back(MemOp::compute(100));
     plan.push_back(MemOp::compute(23));
     const RunResult r = machine.run(plan);
-    EXPECT_EQ(r.ticks, 123u * 500u);
+    EXPECT_EQ(r.ticks, Tick{123u * 500u});
 }
 
 TEST(MachineTest, SingleLoadCompletes)
@@ -61,7 +61,7 @@ TEST(MachineTest, SingleLoadCompletes)
     Machine machine(smallMachine());
     AccessPlan plan{MemOp::load(0x1000)};
     const RunResult r = machine.run(plan);
-    EXPECT_GT(r.ticks, 0u);
+    EXPECT_GT(r.ticks, Tick{0});
     EXPECT_DOUBLE_EQ(r.stats.get("cpu.memOps"), 1.0);
     EXPECT_DOUBLE_EQ(r.stats.get("cache.llcMisses"), 1.0);
     EXPECT_DOUBLE_EQ(r.stats.get("mem.reads"), 1.0);
@@ -105,7 +105,7 @@ TEST(MachineTest, FenceDrainsBeforeCompute)
     const Tick ta = no_fence.run(a).ticks;
     const Tick tb = with_fence.run(b).ticks;
     EXPECT_GT(tb, ta); // fence forbids overlapping the compute
-    EXPECT_GE(tb, 400u * 500u);
+    EXPECT_GE(tb, Tick{400u * 500u});
 }
 
 TEST(MachineTest, StoresAreCountedAsWritesOnWriteback)
@@ -132,8 +132,9 @@ TEST(MachineTest, MultiCorePlansRunConcurrently)
         machine.run(std::vector<AccessPlan>{per_core, per_core,
                                             per_core, per_core})
             .ticks;
-    EXPECT_NEAR(static_cast<double>(t4), static_cast<double>(t1),
-                static_cast<double>(t1) * 0.01);
+    EXPECT_NEAR(static_cast<double>(t4.value()),
+                static_cast<double>(t1.value()),
+                static_cast<double>(t1.value()) * 0.01);
 }
 
 TEST(MachineTest, CLoadUsesColumnPath)
@@ -213,7 +214,7 @@ TEST(MachineTest, ZeroPlansRunsToCompletion)
     Machine machine(smallMachine());
     const RunResult r =
         machine.run(std::vector<AccessPlan>{});
-    EXPECT_EQ(r.ticks, 0u);
+    EXPECT_EQ(r.ticks, Tick{0});
 }
 
 TEST(MachineTest, FewerPlansThanCoresLeavesTheRestIdle)
@@ -224,7 +225,7 @@ TEST(MachineTest, FewerPlansThanCoresLeavesTheRestIdle)
     // time and no operations.
     const RunResult r =
         machine.run(std::vector<AccessPlan>{plan, plan});
-    EXPECT_EQ(r.ticks, 100u * 500u);
+    EXPECT_EQ(r.ticks, Tick{100u * 500u});
     EXPECT_DOUBLE_EQ(r.stats.get("cpu.memOps"), 0.0);
 }
 
@@ -236,8 +237,8 @@ TEST(MachineTest, BackToBackRunsNeedNoReset)
     // A second run on the same machine starts immediately; its
     // counters continue accumulating (no implicit reset).
     const RunResult second = machine.run(plan);
-    EXPECT_GT(first.ticks, 0u);
-    EXPECT_GT(second.ticks, 0u);
+    EXPECT_GT(first.ticks, Tick{0});
+    EXPECT_GT(second.ticks, Tick{0});
     EXPECT_DOUBLE_EQ(second.stats.get("cpu.memOps"), 2.0);
     // Warm caches make the replay no slower than the cold run.
     EXPECT_LE(second.ticks, first.ticks);
@@ -247,21 +248,21 @@ TEST(MachineTest, ServeWithNoTrafficReturnsImmediately)
 {
     Machine machine(smallMachine());
     const RunResult r = machine.serve();
-    EXPECT_EQ(r.ticks, 0u);
+    EXPECT_EQ(r.ticks, Tick{0});
 }
 
 TEST(MachineTest, StartOnCoreRunsUnderServe)
 {
     Machine machine(smallMachine());
     AccessPlan plan{MemOp::compute(100)};
-    Tick finished = 0;
+    Tick finished{0};
     machine.startOnCore(2, plan,
                         [&finished](Tick t) { finished = t; });
     EXPECT_FALSE(machine.coreIdle(2));
     EXPECT_TRUE(machine.coreIdle(0));
     const RunResult r = machine.serve();
-    EXPECT_EQ(finished, 100u * 500u);
-    EXPECT_EQ(r.ticks, 100u * 500u);
+    EXPECT_EQ(finished, Tick{100u * 500u});
+    EXPECT_EQ(r.ticks, Tick{100u * 500u});
     EXPECT_TRUE(machine.coreIdle(2));
 }
 

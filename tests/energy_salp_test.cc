@@ -125,7 +125,7 @@ TEST(SalpTest, SameSubarrayStillConflicts)
 {
     const TimingParams t = timingFor(DeviceKind::RcNvm);
     Bank salp(8);
-    salp.access(0, Orientation::Row, 3, 5, false, t);
+    salp.access(Tick{0}, Orientation::Row, 3, 5, false, t);
     const auto s = salp.access(salp.nextReady(), Orientation::Row, 3,
                                9, false, t);
     EXPECT_EQ(s.outcome, AccessOutcome::BufferConflict);
@@ -137,7 +137,7 @@ TEST(SalpTest, OrientationSwitchStillEnforcedPerSubarray)
     // even under SALP.
     const TimingParams t = timingFor(DeviceKind::RcNvm);
     Bank salp(8);
-    salp.access(0, Orientation::Row, 3, 5, false, t);
+    salp.access(Tick{0}, Orientation::Row, 3, 5, false, t);
     const auto s = salp.access(salp.nextReady(), Orientation::Column,
                                3, 5, false, t);
     EXPECT_EQ(s.outcome, AccessOutcome::OrientationSwitch);

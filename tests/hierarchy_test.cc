@@ -25,7 +25,7 @@ struct Fixture {
     access(unsigned core, Addr addr, Orientation o, bool write,
            unsigned bytes = 64)
     {
-        Tick done = 0;
+        Tick done{0};
         CacheAccess a;
         a.addr = addr;
         a.orient = o;
@@ -67,7 +67,7 @@ TEST(HierarchyTest, MissThenL1Hit)
     const Tick hit = f.access(0, f.rowAddr(5, 0), Orientation::Row,
                               false);
     EXPECT_GT(miss, hit);
-    EXPECT_EQ(hit, f.config.cpuPeriod * f.config.l1Latency);
+    EXPECT_EQ(hit, f.config.cyc(f.config.l1Latency));
     EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.llcMisses"), 1.0);
     EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.l1Hits"), 1.0);
 }
@@ -78,7 +78,7 @@ TEST(HierarchyTest, SameLineDifferentWordHitsL1)
     f.access(0, f.rowAddr(5, 0), Orientation::Row, false);
     const Tick hit = f.access(0, f.rowAddr(5, 3), Orientation::Row,
                               false, 8);
-    EXPECT_EQ(hit, f.config.cpuPeriod * f.config.l1Latency);
+    EXPECT_EQ(hit, f.config.cyc(f.config.l1Latency));
 }
 
 TEST(HierarchyTest, MissLatencyIncludesMemory)
@@ -87,8 +87,7 @@ TEST(HierarchyTest, MissLatencyIncludesMemory)
     const Tick miss = f.access(0, f.rowAddr(5, 0), Orientation::Row,
                                false);
     const Tick path =
-        f.config.cpuPeriod *
-        (f.config.l1Latency + f.config.l2Latency +
+        f.config.cyc(f.config.l1Latency + f.config.l2Latency +
          f.config.l3Latency);
     EXPECT_GT(miss, path);
 }
@@ -99,8 +98,7 @@ TEST(HierarchyTest, CrossCoreReadHitsL3)
     f.access(0, f.rowAddr(5, 0), Orientation::Row, false);
     const Tick other = f.access(1, f.rowAddr(5, 0), Orientation::Row,
                                 false);
-    const Tick l3 = f.config.cpuPeriod *
-                    (f.config.l1Latency + f.config.l2Latency +
+    const Tick l3 = f.config.cyc(f.config.l1Latency + f.config.l2Latency +
                      f.config.l3Latency);
     EXPECT_EQ(other, l3);
     EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.llcMisses"), 1.0);
@@ -113,11 +111,10 @@ TEST(HierarchyTest, RemoteDirtyFetchPaysPenalty)
     f.access(0, f.rowAddr(5, 0), Orientation::Row, true); // dirty@0
     const Tick other = f.access(1, f.rowAddr(5, 0), Orientation::Row,
                                 false);
-    const Tick l3 = f.config.cpuPeriod *
-                    (f.config.l1Latency + f.config.l2Latency +
+    const Tick l3 = f.config.cyc(f.config.l1Latency + f.config.l2Latency +
                      f.config.l3Latency);
     EXPECT_EQ(other,
-              l3 + f.config.cpuPeriod * f.config.remoteFetchPenalty);
+              l3 + f.config.cyc(f.config.remoteFetchPenalty));
     EXPECT_DOUBLE_EQ(
         f.hierarchy.stats().get("cache.cohRemoteFetches"), 1.0);
 }
@@ -134,7 +131,7 @@ TEST(HierarchyTest, WriteInvalidatesOtherCores)
     // it must pay the remote-dirty penalty.
     const Tick again = f.access(0, f.rowAddr(5, 0), Orientation::Row,
                                 false);
-    EXPECT_GT(again, f.config.cpuPeriod * f.config.l1Latency);
+    EXPECT_GT(again, f.config.cyc(f.config.l1Latency));
 }
 
 TEST(HierarchyTest, SynonymCrossingBitsSetOnFill)
@@ -221,10 +218,10 @@ TEST(HierarchyTest, GatherBypassSkipsCaches)
     CacheAccess a;
     a.addr = 0x2000;
     a.bypass = true;
-    Tick done = 0;
+    Tick done{0};
     EXPECT_TRUE(hierarchy.access(0, a, [&](Tick t) { done = t; }));
     eq.run();
-    EXPECT_GT(done, 0u);
+    EXPECT_GT(done, Tick{0});
     EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.bypasses"), 1.0);
     EXPECT_DOUBLE_EQ(hierarchy.stats().get("cache.llcMisses"), 1.0);
     // A second identical gather still goes to memory.
@@ -271,7 +268,7 @@ TEST(HierarchyTest, StatsResetClearsEverything)
     // And the data is gone: the next access misses again.
     const Tick miss = f.access(0, f.rowAddr(1, 0), Orientation::Row,
                                false);
-    EXPECT_GT(miss, f.config.cpuPeriod * f.config.l1Latency);
+    EXPECT_GT(miss, f.config.cyc(f.config.l1Latency));
 }
 
 } // namespace

@@ -47,8 +47,8 @@ TEST_F(IntegrationTest, ColumnScanQueryFasterOnRcNvm)
     EXPECT_LT(rc.ticks, dram.ticks);
     // The paper reports a large factor on Q6; at this reduced scale
     // we still expect at least 2x against both baselines.
-    EXPECT_GT(static_cast<double>(rram.ticks) /
-                  static_cast<double>(rc.ticks),
+    EXPECT_GT(static_cast<double>(rram.ticks.value()) /
+                  static_cast<double>(rc.ticks.value()),
               2.0);
 }
 
@@ -73,8 +73,8 @@ TEST_F(IntegrationTest, SequentialScanQueryFavoursDram)
     EXPECT_LT(dram.ticks, rc.ticks);
     // ... but RC-NVM stays within ~2.5x of DRAM (at full scale the
     // gap narrows to the bus-frequency ratio; see EXPERIMENTS.md).
-    EXPECT_LT(static_cast<double>(rc.ticks),
-              2.5 * static_cast<double>(dram.ticks));
+    EXPECT_LT(static_cast<double>(rc.ticks.value()),
+              2.5 * static_cast<double>(dram.ticks.value()));
 }
 
 TEST_F(IntegrationTest, GsDramHelpsOnlyGatherableQueries)
@@ -113,7 +113,7 @@ TEST_F(IntegrationTest, UpdatesRunOnAllDevices)
          {mem::DeviceKind::RcNvm, mem::DeviceKind::Rram,
           mem::DeviceKind::Dram}) {
         const auto r = runQuery(kind, workload_, QueryId::Q12);
-        EXPECT_GT(r.ticks, 0u);
+        EXPECT_GT(r.ticks, Tick{0});
         EXPECT_GT(r.stats.get("cpu.memOps"), 0.0);
     }
 }
@@ -122,7 +122,7 @@ TEST_F(IntegrationTest, JoinsCompleteAndTouchHashRegion)
 {
     const auto r =
         runQuery(mem::DeviceKind::RcNvm, workload_, QueryId::Q9);
-    EXPECT_GT(r.ticks, 0u);
+    EXPECT_GT(r.ticks, Tick{0});
     // The hash region is touched by build stores and probe loads
     // (write-backs only reach memory once dirty lines spill, which
     // needs a larger-than-LLC footprint).
@@ -203,8 +203,8 @@ TEST_F(IntegrationTest, MicroColumnScansFavourRcNvm)
     // was introduced: the four cores race on the same lines, and
     // DRAM no longer pays for the duplicate in-flight fetches that
     // the pre-MSHR model issued (one per racing core).
-    EXPECT_LT(static_cast<double>(rc.ticks),
-              0.65 * static_cast<double>(dram.ticks));
+    EXPECT_LT(static_cast<double>(rc.ticks.value()),
+              0.65 * static_cast<double>(dram.ticks.value()));
     EXPECT_GT(rc.mshrCoalesced() + dram.mshrCoalesced(), 0.0);
 }
 
@@ -218,8 +218,8 @@ TEST_F(IntegrationTest, MicroRowScansComparableAcrossDevices)
                                imdb::ChunkLayout::RowOriented);
     // RC-NVM pays only a small penalty over RRAM on row scans
     // (paper: ~4%); allow up to 25% at this scale.
-    EXPECT_LT(static_cast<double>(rc.ticks),
-              1.25 * static_cast<double>(rram.ticks));
+    EXPECT_LT(static_cast<double>(rc.ticks.value()),
+              1.25 * static_cast<double>(rram.ticks.value()));
 }
 
 TEST_F(IntegrationTest, SensitivitySlowerCellsSlowRcNvm)
@@ -229,7 +229,7 @@ TEST_F(IntegrationTest, SensitivitySlowerCellsSlowRcNvm)
     mem::AddressMap map(mem::geometryFor(mem::DeviceKind::RcNvm));
     const auto pd = workload_.place(mem::DeviceKind::RcNvm, map);
     const auto q = workload_.compile(QueryId::Q4, pd, 4);
-    Tick prev = 0;
+    Tick prev{0};
     for (const double read_ns : {12.5, 25.0, 50.0, 100.0, 200.0}) {
         const auto cfg = table1MachineWithCell(
             mem::DeviceKind::RcNvm, read_ns, read_ns * 0.4);
@@ -248,12 +248,12 @@ TEST_F(IntegrationTest, RcNvmSystemFacadeWorks)
     EXPECT_GT(sys.binsUsed(), 0u);
     EXPECT_GT(sys.packingUtilization(), 0.0);
     const auto r = sys.runQuery(QueryId::Q1);
-    EXPECT_GT(r.ticks, 0u);
+    EXPECT_GT(r.ticks, Tick{0});
     const auto m = sys.runMicro(MicroBench::RowRead);
-    EXPECT_GT(m.ticks, 0u);
+    EXPECT_GT(m.ticks, Tick{0});
     const auto p = sys.runPlans(
         {cpu::AccessPlan{cpu::MemOp::load(0x1000)}});
-    EXPECT_GT(p.ticks, 0u);
+    EXPECT_GT(p.ticks, Tick{0});
 }
 
 TEST_F(IntegrationTest, Table1PresetMatchesPaper)

@@ -22,14 +22,14 @@ TEST(Bank, StartsClosed)
 {
     Bank bank;
     EXPECT_EQ(bank.bufState(), Bank::BufState::Closed);
-    EXPECT_EQ(bank.nextReady(), 0u);
+    EXPECT_EQ(bank.nextReady(), Tick{0});
     EXPECT_FALSE(bank.bufferDirty());
 }
 
 TEST(Bank, FirstAccessIsBufferMiss)
 {
     Bank bank;
-    const auto s = bank.access(0, Orientation::Row, 0, 5, false, rc());
+    const auto s = bank.access(Tick{0}, Orientation::Row, 0, 5, false, rc());
     EXPECT_EQ(s.outcome, AccessOutcome::BufferMiss);
     // Activate then read: tRCD + tCAS, then the burst.
     const TimingParams t = rc();
@@ -43,7 +43,7 @@ TEST(Bank, SecondAccessSameRowHits)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     const auto s = bank.access(bank.nextReady(), Orientation::Row, 0,
                                5, false, t);
     EXPECT_EQ(s.outcome, AccessOutcome::BufferHit);
@@ -54,7 +54,7 @@ TEST(Bank, DifferentRowSameOrientationConflicts)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     const auto s = bank.access(bank.nextReady(), Orientation::Row, 0,
                                9, false, t);
     EXPECT_EQ(s.outcome, AccessOutcome::BufferConflict);
@@ -67,7 +67,7 @@ TEST(Bank, DifferentSubarraySameIndexConflicts)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     const auto s = bank.access(bank.nextReady(), Orientation::Row, 3,
                                5, false, t);
     EXPECT_EQ(s.outcome, AccessOutcome::BufferConflict);
@@ -81,7 +81,7 @@ TEST(Bank, OrientationSwitchClosesAndReopens)
     // the data back, before it activates the new buffer."
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     const auto s = bank.access(bank.nextReady(), Orientation::Column,
                                0, 5, false, t);
     EXPECT_EQ(s.outcome, AccessOutcome::OrientationSwitch);
@@ -92,7 +92,7 @@ TEST(Bank, DirtyBufferFlushAddsWritePulse)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 5, true, t); // write: dirty
+    bank.access(Tick{0}, Orientation::Row, 0, 5, true, t); // write: dirty
     EXPECT_TRUE(bank.bufferDirty());
     const Tick start = bank.nextReady();
     const auto s =
@@ -107,7 +107,7 @@ TEST(Bank, CleanConflictSkipsWritePulse)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     const auto s = bank.access(bank.nextReady(), Orientation::Row, 0,
                                9, false, t);
     EXPECT_EQ(s.dataStart - s.start, t.cyc(t.tRP + t.tRCD + t.tCAS));
@@ -117,7 +117,7 @@ TEST(Bank, TRasDelaysEarlyPrecharge)
 {
     Bank bank;
     TimingParams t = TimingParams::ddr3_1333();
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     // Request a conflicting row immediately: precharge must wait
     // until tRAS after the activate.
     const Tick activate = t.cyc(t.tRCD);
@@ -131,7 +131,7 @@ TEST(Bank, HitsPipelineAtCcd)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     const Tick r1 = bank.nextReady();
     const auto s1 =
         bank.access(r1, Orientation::Row, 0, 5, false, t);
@@ -142,8 +142,8 @@ TEST(Bank, BusContentionDelaysBurstOnly)
 {
     Bank bank;
     const TimingParams t = rc();
-    const Tick bus_free = 1000000; // bus busy for a long time
-    const auto s = bank.access(0, Orientation::Row, 0, 5, false, t,
+    const Tick bus_free{1000000}; // bus busy for a long time
+    const auto s = bank.access(Tick{0}, Orientation::Row, 0, 5, false, t,
                                bus_free);
     EXPECT_EQ(s.dataStart, bus_free);
     EXPECT_EQ(s.finish, bus_free + t.cyc(t.tBURST));
@@ -154,7 +154,7 @@ TEST(Bank, HitsQueryMatchesState)
     Bank bank;
     const TimingParams t = rc();
     EXPECT_FALSE(bank.hits(Orientation::Row, 0, 5));
-    bank.access(0, Orientation::Row, 0, 5, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     EXPECT_TRUE(bank.hits(Orientation::Row, 0, 5));
     EXPECT_FALSE(bank.hits(Orientation::Row, 0, 6));
     EXPECT_FALSE(bank.hits(Orientation::Column, 0, 5));
@@ -165,7 +165,7 @@ TEST(Bank, ColumnBufferHitAfterSwitch)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Column, 2, 7, false, t);
+    bank.access(Tick{0}, Orientation::Column, 2, 7, false, t);
     EXPECT_EQ(bank.bufState(), Bank::BufState::ColOpen);
     const auto s = bank.access(bank.nextReady(), Orientation::Column,
                                2, 7, false, t);
@@ -177,50 +177,51 @@ TEST(Bank, LateRequestStartsAtNow)
     Bank bank;
     const TimingParams t = rc();
     const auto s =
-        bank.access(77777, Orientation::Row, 0, 0, false, t);
-    EXPECT_EQ(s.start, 77777u);
+        bank.access(Tick{77777}, Orientation::Row, 0, 0, false, t);
+    EXPECT_EQ(s.start, Tick{77777});
 }
 
 TEST(Bank, BusyBankDefersStart)
 {
     Bank bank;
     const TimingParams t = rc();
-    bank.access(0, Orientation::Row, 0, 0, false, t);
-    const auto s = bank.access(1, Orientation::Row, 0, 0, false, t);
+    bank.access(Tick{0}, Orientation::Row, 0, 0, false, t);
+    const auto s = bank.access(Tick{1}, Orientation::Row, 0, 0, false, t);
     EXPECT_EQ(s.start, t.cyc(t.tRCD + t.tCCD));
 }
 
 TEST(Bank, ResetRestoresPristineState)
 {
     Bank bank;
-    bank.access(0, Orientation::Column, 1, 2, true, rc());
+    bank.access(Tick{0}, Orientation::Column, 1, 2, true, rc());
     bank.reset();
     EXPECT_EQ(bank.bufState(), Bank::BufState::Closed);
-    EXPECT_EQ(bank.nextReady(), 0u);
+    EXPECT_EQ(bank.nextReady(), Tick{0});
     EXPECT_FALSE(bank.bufferDirty());
 }
 
 TEST(TimingParamsTest, Table1Presets)
 {
     const TimingParams dram = TimingParams::ddr3_1333();
-    EXPECT_EQ(dram.tCAS, 10u);
-    EXPECT_EQ(dram.tRCD, 9u);
-    EXPECT_EQ(dram.tRP, 9u);
-    EXPECT_EQ(dram.tRAS, 24u);
+    EXPECT_EQ(dram.tCAS, MemCycles{10});
+    EXPECT_EQ(dram.tRCD, MemCycles{9});
+    EXPECT_EQ(dram.tRP, MemCycles{9});
+    EXPECT_EQ(dram.tRAS, MemCycles{24});
     // Paper: DRAM access time 14 ns = (tRCD + tCAS) cycles.
-    EXPECT_NEAR(static_cast<double>(dram.cyc(dram.tRCD + dram.tCAS)) /
-                    ticksPerNs,
+    EXPECT_NEAR(static_cast<double>(
+                    dram.cyc(dram.tRCD + dram.tCAS).value()) /
+                    static_cast<double>(ticksPerNs.value()),
                 14.0, 0.5);
 
     const TimingParams rram = TimingParams::rram();
-    EXPECT_EQ(rram.tRP, 1u);
-    EXPECT_EQ(rram.tRAS, 0u);
+    EXPECT_EQ(rram.tRP, MemCycles{1});
+    EXPECT_EQ(rram.tRAS, MemCycles{0});
     // 25 ns read access, 10 ns write pulse.
     EXPECT_EQ(rram.cyc(rram.tRCD), nsToTicks(25.0));
     EXPECT_EQ(rram.cyc(rram.tWR), nsToTicks(10.0));
 
     const TimingParams rcnvm = TimingParams::rcNvm();
-    EXPECT_EQ(rcnvm.tRCD, 12u); // 30 ns ~ paper's 29 ns
+    EXPECT_EQ(rcnvm.tRCD, MemCycles{12}); // 30 ns ~ paper's 29 ns
     EXPECT_EQ(rcnvm.cyc(rcnvm.tWR), nsToTicks(15.0));
 }
 
@@ -233,8 +234,8 @@ TEST(TimingParamsTest, CellLatencyOverride)
     EXPECT_EQ(t.cyc(t.tWR), nsToTicks(20.0));
     const TimingParams tiny =
         TimingParams::rram().withCellLatency(0.1, 0.1);
-    EXPECT_GE(tiny.tRCD, 1u);
-    EXPECT_GE(tiny.tWR, 1u);
+    EXPECT_GE(tiny.tRCD, MemCycles{1});
+    EXPECT_GE(tiny.tWR, MemCycles{1});
 }
 
 TEST(TimingParamsTest, DeviceKindHelpers)

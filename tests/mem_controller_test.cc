@@ -44,7 +44,7 @@ TEST(Controller, CompletesASingleRequest)
 {
     Fixture f;
     ChannelController ctrl(f.map, f.timing, f.eq);
-    Tick done = 0;
+    Tick done{0};
     ctrl.enqueue(makeReq(f.map, 0, 0, 5, 0, Orientation::Row,
                          [&](Tick t) { done = t; }));
     f.eq.run();
@@ -91,8 +91,8 @@ TEST(Controller, StarvationCapBoundsBypassing)
     f.eq.run();
     // One starving conflict plus a long stream of row hits that
     // arrive while the bank is busy.
-    Tick conflict_done = 0;
-    Tick last_hit_done = 0;
+    Tick conflict_done{0};
+    Tick last_hit_done{0};
     ctrl.enqueue(makeReq(f.map, 0, 0, 9, 0, Orientation::Row,
                          [&](Tick t) { conflict_done = t; }));
     for (unsigned i = 0; i < 64; ++i) {
@@ -114,14 +114,14 @@ TEST(Controller, GatheredTransferOccupiesTwoBusSlots)
                          [](Tick) {}));
     f.eq.run();
     const Tick slot = f.timing.cyc(f.timing.tBURST);
-    EXPECT_EQ(ctrl.stats().busBusyTicks.value(), slot);
+    EXPECT_EQ(ctrl.stats().busBusyTicks.value(), slot.value());
     // A gathered line's shuffled-column transfer costs two slots.
     MemRequest req = makeReq(f.map, 0, 0, 5, 8, Orientation::Row,
                              [](Tick) {});
     req.gathered = true;
     ctrl.enqueue(std::move(req));
     f.eq.run();
-    EXPECT_EQ(ctrl.stats().busBusyTicks.value(), 3 * slot);
+    EXPECT_EQ(ctrl.stats().busBusyTicks.value(), (slot * 3u).value());
     EXPECT_EQ(ctrl.stats().gathered.value(), 1u);
 }
 
@@ -225,7 +225,7 @@ TEST(Controller, DeterministicTraceRegression)
             f.map, bank, 0, row, col, o, [&, i](Tick t) {
                 ++completions;
                 fold((std::uint64_t{i} << 48) ^
-                     static_cast<std::uint64_t>(t));
+                     t.value());
             });
         req.isWrite = (r >> 14) % 4 == 0;
         req.gathered = (r >> 16) % 8 == 0;
@@ -263,7 +263,7 @@ TEST(Controller, IndependentBanksOverlapCommands)
 {
     Fixture f;
     ChannelController ctrl(f.map, f.timing, f.eq);
-    Tick done_a = 0, done_b = 0;
+    Tick done_a{0}, done_b{0};
     ctrl.enqueue(makeReq(f.map, 0, 0, 5, 0, Orientation::Row,
                          [&](Tick t) { done_a = t; }));
     ctrl.enqueue(makeReq(f.map, 1, 0, 5, 0, Orientation::Row,
@@ -356,15 +356,15 @@ TEST(MemorySystemTest, BusUtilizationExported)
     d.row = 7;
     MemRequest req;
     req.addr = mem.map().encode(d, Orientation::Row);
-    Tick done = 0;
+    Tick done{0};
     req.onComplete = [&](Tick t) { done = t; };
     mem.issue(std::move(req));
     eq.run();
     ASSERT_GT(done, Tick{0});
     // One read holds channel 0's bus for one burst slot; the stats
     // window spans eq.now() on each of the two channels.
-    const double busy = static_cast<double>(t.cyc(t.tBURST));
-    const double elapsed = 2.0 * static_cast<double>(eq.now());
+    const double busy = static_cast<double>(t.cyc(t.tBURST).value());
+    const double elapsed = 2.0 * static_cast<double>(eq.now().value());
     EXPECT_DOUBLE_EQ(mem.stats().get("mem.busBusyTicks"), busy);
     EXPECT_DOUBLE_EQ(mem.stats().get("mem.busUtilization"),
                      busy / elapsed);

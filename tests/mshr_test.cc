@@ -76,7 +76,7 @@ TEST(MshrTest, ConcurrentSameLineMissesCoalesce)
     Fixture f;
     const Addr addr = f.rowAddr(7, 0);
     unsigned done = 0;
-    Tick t0 = 0, t1 = 0;
+    Tick t0{0}, t1{0};
 
     // Two cores miss on the same line in the same cycle: one memory
     // request, two completions.
@@ -87,23 +87,23 @@ TEST(MshrTest, ConcurrentSameLineMissesCoalesce)
     f.eq.run();
 
     EXPECT_EQ(done, 2u);
-    EXPECT_GT(t0, 0u);
-    EXPECT_GT(t1, 0u);
+    EXPECT_GT(t0, Tick{0});
+    EXPECT_GT(t1, Tick{0});
     const auto cs = f.hierarchy.stats();
     EXPECT_DOUBLE_EQ(cs.get("cache.llcMisses"), 2.0);
     EXPECT_DOUBLE_EQ(cs.get("cache.mshrCoalesced"), 1.0);
     EXPECT_DOUBLE_EQ(f.memory.stats().get("mem.reads"), 1.0);
 
     // Both cores got a copy: their next accesses hit in L1.
-    Tick hit0 = 0, hit1 = 0;
+    Tick hit0{0}, hit1{0};
     const Tick start = f.eq.now();
     ASSERT_TRUE(f.hierarchy.access(
         0, f.read(addr), [&](Tick t) { hit0 = t - start; }));
     ASSERT_TRUE(f.hierarchy.access(
         1, f.read(addr), [&](Tick t) { hit1 = t - start; }));
     f.eq.run();
-    EXPECT_EQ(hit0, f.config.cpuPeriod * f.config.l1Latency);
-    EXPECT_EQ(hit1, f.config.cpuPeriod * f.config.l1Latency);
+    EXPECT_EQ(hit0, f.config.cyc(f.config.l1Latency));
+    EXPECT_EQ(hit1, f.config.cyc(f.config.l1Latency));
 }
 
 TEST(MshrTest, CoalescedWriteLeavesLineModified)
@@ -124,16 +124,14 @@ TEST(MshrTest, CoalescedWriteLeavesLineModified)
     // Core 1 wrote the line: a third core's read must pay the
     // remote-dirty fetch penalty, proving the write survived the
     // coalesced fill.
-    Tick t2 = 0;
+    Tick t2{0};
     const Tick start = f.eq.now();
     ASSERT_TRUE(f.hierarchy.access(2, f.read(addr),
                                    [&](Tick t) { t2 = t - start; }));
     f.eq.run();
-    const Tick l3 = f.config.cpuPeriod *
-                    (f.config.l1Latency + f.config.l2Latency +
+    const Tick l3 = f.config.cyc(f.config.l1Latency + f.config.l2Latency +
                      f.config.l3Latency);
-    EXPECT_EQ(t2, l3 + f.config.cpuPeriod *
-                           f.config.remoteFetchPenalty);
+    EXPECT_EQ(t2, l3 + f.config.cyc(f.config.remoteFetchPenalty));
 }
 
 TEST(MshrTest, MshrFullRefusesThenWakes)
@@ -142,8 +140,8 @@ TEST(MshrTest, MshrFullRefusesThenWakes)
     cfg.mshrs = 1;
     Fixture f(cfg);
 
-    Tick first_done = 0;
-    Tick woken_at = 0;
+    Tick first_done{0};
+    Tick woken_at{0};
     ASSERT_TRUE(f.hierarchy.access(
         0, f.read(f.rowAddr(1, 0)),
         [&](Tick t) { first_done = t; }));
@@ -158,12 +156,12 @@ TEST(MshrTest, MshrFullRefusesThenWakes)
     EXPECT_DOUBLE_EQ(f.hierarchy.stats().get("cache.retries"), 1.0);
 
     f.eq.run();
-    EXPECT_GT(first_done, 0u);
+    EXPECT_GT(first_done, Tick{0});
     EXPECT_FALSE(second_done);
     // Wakeup ordering: the retry notification fires when the fill
     // frees the MSHR, which is before the first access's private
     // fill latency elapses.
-    EXPECT_GT(woken_at, 0u);
+    EXPECT_GT(woken_at, Tick{0});
     EXPECT_LE(woken_at, first_done);
 
     // Re-presenting after the wakeup succeeds.
@@ -256,7 +254,7 @@ TEST(BackpressureTest, TinyQueuesCompleteWithoutDeadlock)
     }
     const RunResult r = machine.run(plans);
 
-    EXPECT_GT(r.ticks, 0u);
+    EXPECT_GT(r.ticks, Tick{0});
     EXPECT_DOUBLE_EQ(r.stats.get("cpu.memOps"), 4.0 * 128.0);
     EXPECT_LE(r.stats.get("mem.maxQueueOccupancy"), 2.0);
     // The path is saturated: refusals and queue rejections happened
@@ -297,7 +295,7 @@ TEST(ClockUnificationTest, CoreClockFollowsHierarchyConfig)
     const AccessPlan plan{MemOp::compute(1000)};
     const RunResult rf = Machine(fast).run(plan);
     const RunResult rs = Machine(slow).run(plan);
-    EXPECT_EQ(rf.ticks, Tick{1000} * fast.hierarchy.cpuPeriod);
+    EXPECT_EQ(rf.ticks, fast.hierarchy.cpuPeriod * 1000u);
     EXPECT_EQ(rs.ticks, 2 * rf.ticks);
 }
 

@@ -52,24 +52,24 @@ ServiceConfig
 smallService()
 {
     ServiceConfig cfg;
-    cfg.oltpInterArrival = 20000;
+    cfg.oltpInterArrival = Tick{20000};
     cfg.oltpUpdateFraction = 0.25;
     cfg.olapStreams = 1;
     cfg.olapTuplesPerScan = 256;
     cfg.olapFields = 2;
-    cfg.horizon = 2000000;
+    cfg.horizon = Tick{2000000};
     cfg.runQueueCapacity = 16;
     return cfg;
 }
 
 TEST(GeneratorTest, OltpGapsAreExponentialAndPositive)
 {
-    OltpGenerator gen(placedDb(), 1000, 0.5, kSeed);
+    OltpGenerator gen(placedDb(), Tick{1000}, 0.5, kSeed);
     double sum = 0;
     for (unsigned i = 0; i < 4096; ++i) {
         const Tick gap = gen.nextGap();
-        EXPECT_GE(gap, 1u);
-        sum += static_cast<double>(gap);
+        EXPECT_GE(gap, Tick{1});
+        sum += static_cast<double>(gap.value());
     }
     // The empirical mean of 4k draws sits near the configured mean.
     EXPECT_NEAR(sum / 4096.0, 1000.0, 100.0);
@@ -77,7 +77,7 @@ TEST(GeneratorTest, OltpGapsAreExponentialAndPositive)
 
 TEST(GeneratorTest, OltpRequestsTargetExistingTuples)
 {
-    OltpGenerator gen(placedDb(), 1000, 0.5, kSeed);
+    OltpGenerator gen(placedDb(), Tick{1000}, 0.5, kSeed);
     for (unsigned i = 0; i < 32; ++i) {
         const Request r = gen.make(Tick{i});
         EXPECT_EQ(r.cls, RequestClass::Oltp);
@@ -92,7 +92,7 @@ TEST(GeneratorTest, OlapScansWalkTheTableRoundRobin)
     // 4096 tuples / 256 per scan = 16 scans per pass; the 17th wraps
     // to the start and must still compile a non-empty plan.
     for (unsigned i = 0; i < 17; ++i) {
-        const Request r = gen.make(0);
+        const Request r = gen.make(Tick{0});
         EXPECT_EQ(r.cls, RequestClass::Olap);
         EXPECT_FALSE(r.plan.empty());
     }
@@ -100,12 +100,12 @@ TEST(GeneratorTest, OlapScansWalkTheTableRoundRobin)
 
 TEST(GeneratorTest, SameSeedSameRequestSequence)
 {
-    OltpGenerator a(placedDb(), 1000, 0.5, kSeed);
-    OltpGenerator b(placedDb(), 1000, 0.5, kSeed);
+    OltpGenerator a(placedDb(), Tick{1000}, 0.5, kSeed);
+    OltpGenerator b(placedDb(), Tick{1000}, 0.5, kSeed);
     for (unsigned i = 0; i < 16; ++i) {
         EXPECT_EQ(a.nextGap(), b.nextGap());
-        const Request ra = a.make(0);
-        const Request rb = b.make(0);
+        const Request ra = a.make(Tick{0});
+        const Request rb = b.make(Tick{0});
         ASSERT_EQ(ra.plan.size(), rb.plan.size());
     }
 }
@@ -116,22 +116,22 @@ TEST(SchedulerTest, SubmitDispatchesOntoIdleCoresThenQueues)
     ServiceConfig cfg = smallService();
     cfg.runQueueCapacity = 2;
     QueryScheduler sched(machine, placedDb(), cfg);
-    OltpGenerator gen(placedDb(), 1000, 0.0, kSeed);
+    OltpGenerator gen(placedDb(), Tick{1000}, 0.0, kSeed);
 
     // First four requests land directly on the four idle cores.
     for (unsigned i = 0; i < 4; ++i)
-        EXPECT_TRUE(sched.submit(gen.make(0)));
+        EXPECT_TRUE(sched.submit(gen.make(Tick{0})));
     EXPECT_EQ(sched.inFlight(), 4u);
     EXPECT_EQ(sched.queueDepth(), 0u);
 
     // The next two park in the bounded run queue.
-    EXPECT_TRUE(sched.submit(gen.make(0)));
-    EXPECT_TRUE(sched.submit(gen.make(0)));
+    EXPECT_TRUE(sched.submit(gen.make(Tick{0})));
+    EXPECT_TRUE(sched.submit(gen.make(Tick{0})));
     EXPECT_EQ(sched.queueDepth(), 2u);
 
     // The queue is full: admission control rejects and counts.
-    EXPECT_FALSE(sched.submit(gen.make(0)));
-    EXPECT_FALSE(sched.submit(gen.make(0)));
+    EXPECT_FALSE(sched.submit(gen.make(Tick{0})));
+    EXPECT_FALSE(sched.submit(gen.make(Tick{0})));
     EXPECT_EQ(sched.rejected(), 2u);
     EXPECT_EQ(sched.queueDepth(), 2u);
 }
@@ -141,10 +141,10 @@ TEST(SchedulerTest, QueuedRequestsRunWhenCoresFree)
     cpu::Machine machine(serviceMachine());
     ServiceConfig cfg = smallService();
     QueryScheduler sched(machine, placedDb(), cfg);
-    OltpGenerator gen(placedDb(), 1000, 0.0, kSeed);
+    OltpGenerator gen(placedDb(), Tick{1000}, 0.0, kSeed);
 
     for (unsigned i = 0; i < 6; ++i)
-        EXPECT_TRUE(sched.submit(gen.make(0)));
+        EXPECT_TRUE(sched.submit(gen.make(Tick{0})));
     EXPECT_EQ(sched.inFlight(), 4u);
     EXPECT_EQ(sched.queueDepth(), 2u);
 
@@ -204,7 +204,7 @@ TEST(SchedulerTest, OverloadRejectsButNeverDropsOlap)
 {
     cpu::Machine machine(serviceMachine());
     ServiceConfig cfg = smallService();
-    cfg.oltpInterArrival = 200; // ~100x over capacity
+    cfg.oltpInterArrival = Tick{200}; // ~100x over capacity
     cfg.runQueueCapacity = 4;
     QueryScheduler sched(machine, placedDb(), cfg);
     const ServiceResult r = sched.run();
@@ -227,12 +227,12 @@ TEST(SchedulerTest, HorizonStopsTheOpenLoop)
 
     // The offered load stops at the horizon, so the generated count
     // stays near horizon / interArrival (Poisson, not unbounded).
-    const double expected = static_cast<double>(cfg.horizon) /
-                            static_cast<double>(cfg.oltpInterArrival);
+    const double expected = static_cast<double>(cfg.horizon.value()) /
+                            static_cast<double>(cfg.oltpInterArrival.value());
     EXPECT_GT(static_cast<double>(r.oltpGenerated), expected * 0.5);
     EXPECT_LT(static_cast<double>(r.oltpGenerated), expected * 1.5);
     // And the machine drained past the horizon.
-    EXPECT_GE(r.run.ticks, 0u);
+    EXPECT_GE(r.run.ticks, Tick{0});
     EXPECT_EQ(sched.inFlight(), 0u);
 }
 
@@ -285,9 +285,9 @@ TEST(SchedulerTest, DevicesShareTheTrafficShape)
 TEST(SchedulerDeathTest, StartOnBusyCoreIsFatal)
 {
     cpu::Machine machine(serviceMachine());
-    OltpGenerator gen(placedDb(), 1000, 0.0, kSeed);
-    const Request a = gen.make(0);
-    const Request b = gen.make(0);
+    OltpGenerator gen(placedDb(), Tick{1000}, 0.0, kSeed);
+    const Request a = gen.make(Tick{0});
+    const Request b = gen.make(Tick{0});
     machine.startOnCore(0, a.plan, [](Tick) {});
     EXPECT_EXIT(machine.startOnCore(0, b.plan, [](Tick) {}),
                 ::testing::ExitedWithCode(1), "busy");

@@ -74,8 +74,8 @@ TEST_F(PaperShape, DramWinsOnlyTheSequentialScanQuery)
     for (const QueryId id : {QueryId::Q4, QueryId::Q6}) {
         const auto rc = run(mem::DeviceKind::RcNvm, id);
         const auto dram = run(mem::DeviceKind::Dram, id);
-        EXPECT_GT(static_cast<double>(dram.ticks),
-                  1.5 * static_cast<double>(rc.ticks))
+        EXPECT_GT(static_cast<double>(dram.ticks.value()),
+                  1.5 * static_cast<double>(rc.ticks.value()))
             << workload::querySpec(id).name;
     }
 }
@@ -86,8 +86,8 @@ TEST_F(PaperShape, AggregateSpeedupVsRramIsLarge)
     // to ~4x at full scale; guard a conservative 2.5x here.
     const auto rc = run(mem::DeviceKind::RcNvm, QueryId::Q6);
     const auto rram = run(mem::DeviceKind::Rram, QueryId::Q6);
-    EXPECT_GT(static_cast<double>(rram.ticks),
-              2.5 * static_cast<double>(rc.ticks));
+    EXPECT_GT(static_cast<double>(rram.ticks.value()),
+              2.5 * static_cast<double>(rc.ticks.value()));
 }
 
 TEST_F(PaperShape, GsDramSitsBetweenDramAndRcNvmOnGatherables)

@@ -198,8 +198,8 @@ TEST_P(BankProperty, RandomSequenceKeepsTimeMonotone)
     const mem::TimingParams t = mem::timingFor(GetParam());
     mem::Bank bank;
     util::Random rng(5);
-    Tick prev_finish = 0;
-    Tick bus_free = 0;
+    Tick prev_finish{0};
+    Tick bus_free{0};
     for (int i = 0; i < 500; ++i) {
         const auto o = rng.nextBool(0.5) ? Orientation::Row
                                          : Orientation::Column;
@@ -226,8 +226,8 @@ TEST_P(BankProperty, HitIsNeverSlowerThanMiss)
     const mem::TimingParams t = mem::timingFor(GetParam());
     mem::Bank a, b;
     const auto miss =
-        a.access(0, Orientation::Row, 0, 5, false, t);
-    b.access(0, Orientation::Row, 0, 5, false, t);
+        a.access(Tick{0}, Orientation::Row, 0, 5, false, t);
+    b.access(Tick{0}, Orientation::Row, 0, 5, false, t);
     const auto hit =
         b.access(b.nextReady(), Orientation::Row, 0, 5, false, t);
     EXPECT_LT(hit.finish - hit.start, miss.finish - miss.start);

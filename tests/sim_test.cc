@@ -18,12 +18,12 @@ TEST(EventQueue, RunsEventsInTickOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(30, [&] { order.push_back(3); });
-    eq.schedule(10, [&] { order.push_back(1); });
-    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(Tick{30}, [&] { order.push_back(3); });
+    eq.schedule(Tick{10}, [&] { order.push_back(1); });
+    eq.schedule(Tick{20}, [&] { order.push_back(2); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.now(), Tick{30});
 }
 
 TEST(EventQueue, TieBreaksByInsertionOrder)
@@ -31,7 +31,7 @@ TEST(EventQueue, TieBreaksByInsertionOrder)
     EventQueue eq;
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
-        eq.schedule(5, [&order, i] { order.push_back(i); });
+        eq.schedule(Tick{5}, [&order, i] { order.push_back(i); });
     eq.run();
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -41,38 +41,38 @@ TEST(EventQueue, CallbacksMayScheduleMoreEvents)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(1, [&] {
+    eq.schedule(Tick{1}, [&] {
         ++fired;
-        eq.schedule(2, [&] {
+        eq.schedule(Tick{2}, [&] {
             ++fired;
-            eq.schedule(3, [&] { ++fired; });
+            eq.schedule(Tick{3}, [&] { ++fired; });
         });
     });
     eq.run();
     EXPECT_EQ(fired, 3);
-    EXPECT_EQ(eq.now(), 3u);
+    EXPECT_EQ(eq.now(), Tick{3});
 }
 
 TEST(EventQueue, ScheduleAfterIsRelative)
 {
     EventQueue eq;
-    Tick seen = 0;
-    eq.schedule(100, [&] {
-        eq.scheduleAfter(50, [&] { seen = eq.now(); });
+    Tick seen;
+    eq.schedule(Tick{100}, [&] {
+        eq.scheduleAfter(Tick{50}, [&] { seen = eq.now(); });
     });
     eq.run();
-    EXPECT_EQ(seen, 150u);
+    EXPECT_EQ(seen, Tick{150});
 }
 
 TEST(EventQueue, RunUntilLeavesLaterEvents)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(10, [&] { ++fired; });
-    eq.schedule(20, [&] { ++fired; });
-    eq.runUntil(15);
+    eq.schedule(Tick{10}, [&] { ++fired; });
+    eq.schedule(Tick{20}, [&] { ++fired; });
+    eq.runUntil(Tick{15});
     EXPECT_EQ(fired, 1);
-    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.now(), Tick{15});
     EXPECT_EQ(eq.pending(), 1u);
     eq.run();
     EXPECT_EQ(fired, 2);
@@ -82,7 +82,7 @@ TEST(EventQueue, CountsExecutedEvents)
 {
     EventQueue eq;
     for (int i = 0; i < 5; ++i)
-        eq.schedule(static_cast<Tick>(i), [] {});
+        eq.schedule(Tick{static_cast<std::uint64_t>(i)}, [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 5u);
 }
@@ -91,40 +91,40 @@ TEST(EventQueue, EmptyRunIsNoop)
 {
     EventQueue eq;
     eq.run();
-    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.now(), Tick{0});
     EXPECT_EQ(eq.executed(), 0u);
 }
 
 TEST(EventQueueDeathTest, PanicsOnPastEvent)
 {
     EventQueue eq;
-    eq.schedule(10, [&] {
-        eq.schedule(5, [] {}); // in the past
+    eq.schedule(Tick{10}, [&] {
+        eq.schedule(Tick{5}, [] {}); // in the past
     });
     EXPECT_DEATH(eq.run(), "scheduled in the past");
 }
 
 TEST(ClockDomain, CycleTickConversions)
 {
-    ClockDomain clk(2500);
-    EXPECT_EQ(clk.period(), 2500u);
-    EXPECT_EQ(clk.cyclesToTicks(4), 10000u);
-    EXPECT_EQ(clk.ticksToCycles(10000), 4u);
-    EXPECT_EQ(clk.ticksToCycles(10001), 5u); // rounds up
+    ClockDomain<MemClk> clk(Tick{2500});
+    EXPECT_EQ(clk.period(), Tick{2500});
+    EXPECT_EQ(clk.cyclesToTicks(MemCycles{4}), Tick{10000});
+    EXPECT_EQ(clk.ticksToCycles(Tick{10000}), MemCycles{4});
+    EXPECT_EQ(clk.ticksToCycles(Tick{10001}), MemCycles{5}); // rounds up
 }
 
 TEST(ClockDomain, NextEdge)
 {
-    ClockDomain clk(750);
-    EXPECT_EQ(clk.nextEdgeAt(0), 0u);
-    EXPECT_EQ(clk.nextEdgeAt(1), 750u);
-    EXPECT_EQ(clk.nextEdgeAt(750), 750u);
-    EXPECT_EQ(clk.nextEdgeAt(751), 1500u);
+    ClockDomain<MemClk> clk(Tick{750});
+    EXPECT_EQ(clk.nextEdgeAt(Tick{0}), Tick{0});
+    EXPECT_EQ(clk.nextEdgeAt(Tick{1}), Tick{750});
+    EXPECT_EQ(clk.nextEdgeAt(Tick{750}), Tick{750});
+    EXPECT_EQ(clk.nextEdgeAt(Tick{751}), Tick{1500});
 }
 
 TEST(ClockDomain, CpuClockIs2GHz)
 {
-    EXPECT_EQ(cpuClock().period(), 500u);
+    EXPECT_EQ(cpuClock().period(), Tick{500});
 }
 
 } // namespace

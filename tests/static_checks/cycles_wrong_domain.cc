@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Must NOT compile: converting memory-bus cycles through the CPU
+ * clock. ClockDomain<Dom> only accepts Cycles<Dom>, so a cycle
+ * count can never be scaled by the wrong period.
+ */
+
+#include "sim/clock_domain.hh"
+#include "util/types.hh"
+
+using namespace rcnvm;
+
+Tick
+shouldNotCompile()
+{
+    MemCycles burst{8};
+    return sim::cpuClock().cyclesToTicks(
+        burst); // ERROR: MemCycles through a CpuClk domain
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Must NOT compile: a bare integer where a Tick is due.
+ *
+ * Construction is explicit so every literal that enters the time
+ * base is visibly stamped with its unit at the call site.
+ */
+
+#include "util/types.hh"
+
+using namespace rcnvm;
+
+Tick
+shouldNotCompile()
+{
+    Tick t = 2500; // ERROR: explicit construction required
+    return t;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Must NOT compile: adding CPU cycles to memory-bus cycles.
+ *
+ * The two clock domains tick at different rates (500 ps vs 750 or
+ * 2500 ps); a sum of their cycle counts is dimensionally
+ * meaningless. The only legal meeting point is Tick, via each
+ * domain's ClockDomain::cyclesToTicks.
+ */
+
+#include "util/types.hh"
+
+using namespace rcnvm;
+
+CpuCycles
+shouldNotCompile()
+{
+    CpuCycles cpu{4};
+    MemCycles mem{6};
+    return cpu + mem; // ERROR: cross-domain cycle arithmetic
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Must NOT compile: a column address where a row address is due.
+ *
+ * The whole point of OrientedAddr is that the synonym problem
+ * (Sec. 4.2) cannot be reintroduced by handing the dual address to
+ * a primitive that expects the original orientation.
+ */
+
+#include "util/types.hh"
+
+using namespace rcnvm;
+
+static Tick
+rowOnly(RowAddr a)
+{
+    return Tick{a.value()};
+}
+
+Tick
+shouldNotCompile()
+{
+    ColAddr col{0x1000};
+    return rowOnly(col); // ERROR: ColAddr is not a RowAddr
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Must NOT compile: comparing addresses across orientations.
+ *
+ * A row address and a column address name different cells even when
+ * the raw bits agree; equality across the two spaces is only
+ * meaningful after AddressMap::convert.
+ */
+
+#include "util/types.hh"
+
+using namespace rcnvm;
+
+bool
+shouldNotCompile()
+{
+    RowAddr row{0x40};
+    ColAddr col{0x40};
+    return row == col; // ERROR: no cross-orientation comparison
+}

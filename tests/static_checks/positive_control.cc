@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Positive control: everything the strong types are supposed to
+ * allow, in one translation unit. If this file stops compiling, the
+ * negative checks beside it prove nothing.
+ */
+
+#include "mem/geometry.hh"
+#include "sim/clock_domain.hh"
+#include "util/types.hh"
+
+using namespace rcnvm;
+
+Tick
+legalUses()
+{
+    // Same-tag arithmetic and comparison.
+    Tick t{500};
+    t += Tick{250};
+    t = t - Tick{250} + Tick{125};
+    const bool later = t > Tick{0};
+
+    // Scalar scaling and same-tag ratio.
+    const Tick scaled = t * 4u;
+    const std::uint64_t ratio = scaled / t;
+
+    // Domain crossings through the named conversion points.
+    const sim::ClockDomain<CpuClk> cpu = sim::cpuClock();
+    const sim::ClockDomain<MemClk> mem = sim::memClock(Tick{750});
+    const Tick a = cpu.cyclesToTicks(CpuCycles{4});
+    const Tick b = mem.cyclesToTicks(mem.ticksToCycles(a));
+
+    // Orientation crossings through the address map.
+    const mem::Geometry g;
+    const mem::AddressMap map(g);
+    const RowAddr row{0x1000};
+    const ColAddr col = map.convert(row);
+    const RowAddr back = map.convert(col);
+
+    return later ? a + b + Tick{ratio} + Tick{back.value()}
+                 : Tick{row.value()};
+}

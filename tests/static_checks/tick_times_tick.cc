@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Must NOT compile: multiplying two ticks.
+ *
+ * tick * tick would be ps^2; the strong type only permits scaling
+ * by a raw count, which is how "N cycles of period P" is spelled.
+ */
+
+#include "util/types.hh"
+
+using namespace rcnvm;
+
+Tick
+shouldNotCompile()
+{
+    Tick a{500};
+    Tick b{3};
+    return a * b; // ERROR: Tick * Tick has no unit
+}

@@ -135,13 +135,13 @@ TEST(EpochSamplerTest, SamplesRowsAndTerminates)
     sim::EventQueue eq;
     int work = 0;
     // Background work spanning 10 epochs of 100 ticks.
-    for (Tick t = 50; t <= 1000; t += 50)
+    for (Tick t{50}; t <= Tick{1000}; t += Tick{50})
         eq.schedule(t, [&work] { ++work; });
 
     sim::EpochSampler sampler(eq);
     double gauge = 0;
     sampler.addGauge("g", [&gauge] { return gauge++; });
-    sampler.start(100);
+    sampler.start(Tick{100});
     EXPECT_TRUE(sampler.running());
 
     eq.run(); // must terminate: the sampler may not self-sustain
@@ -165,7 +165,7 @@ TEST(EpochSamplerTest, SeriesWritersProduceParsableOutput)
 {
     sim::EpochSeries s;
     s.names = {"a", "b"};
-    s.ticks = {100, 200};
+    s.ticks = {Tick{100}, Tick{200}};
     s.rows = {{1.0, 2.0}, {3.0, 4.0}};
 
     std::ostringstream csv;
@@ -192,7 +192,7 @@ TEST(StatsIo, JsonRoundTripPreservesValuesAndKinds)
     m.set("mem.avgQueueWaitTicks", 1234.5678901234567);
 
     std::ostringstream os;
-    writeStatsJson(os, m, "testrun", 9876543210);
+    writeStatsJson(os, m, "testrun", Tick{9876543210});
 
     const JsonValue doc = parseJson(os.str());
     ASSERT_EQ(doc.type, JsonValue::Type::Object);
@@ -250,9 +250,9 @@ TEST(ChromeTrace, WritesParsableTraceFile)
     ASSERT_NE(ChromeTracer::active(), nullptr);
     ChromeTracer::active()->complete("service",
                                      ChromeTracer::kPidMemBase, 3,
-                                     2'000'000, 500'000, 0x1000);
+                                     Tick{2'000'000}, Tick{500'000}, 0x1000);
     ChromeTracer::active()->instant(
-        "mshr.alloc", ChromeTracer::kPidCache, 1, 1'000'000, 0x1000);
+        "mshr.alloc", ChromeTracer::kPidCache, 1, Tick{1'000'000}, 0x1000);
     EXPECT_EQ(ChromeTracer::active()->eventCount(), 2u);
     ChromeTracer::disable();
     EXPECT_EQ(ChromeTracer::active(), nullptr);

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Property tests for the strong-type conversion points: the typed
+ * AddressMap convert must be an involution that preserves every
+ * decoded field, and each ClockDomain must round-trip cycles at the
+ * awkward tick positions (zero, exact edges, one short of an edge).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/geometry.hh"
+#include "sim/clock_domain.hh"
+#include "util/types.hh"
+
+namespace rcnvm {
+namespace {
+
+using mem::AddressMap;
+using mem::DecodedAddr;
+using mem::Geometry;
+
+/** Geometry sweep: the three Table-1 devices plus corner shapes. */
+std::vector<Geometry>
+geometrySweep()
+{
+    std::vector<Geometry> gs = {Geometry::rcNvm(), Geometry::rram(),
+                                Geometry::dram(), Geometry{}};
+    Geometry tiny;
+    tiny.channels = 1;
+    tiny.ranksPerChannel = 1;
+    tiny.banksPerRank = 2;
+    tiny.subarraysPerBank = 2;
+    tiny.rowsPerSubarray = 16;
+    tiny.colsPerSubarray = 16;
+    gs.push_back(tiny);
+    Geometry tall; // asymmetric: rows != cols, swap must still hold
+    tall.rowsPerSubarray = 4096;
+    tall.colsPerSubarray = 64;
+    gs.push_back(tall);
+    return gs;
+}
+
+/** Deterministic xorshift so the sweep needs no fixed tables. */
+std::uint64_t
+next(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+TEST(TypedAddressProperty, ConvertIsAnInvolution)
+{
+    for (const Geometry &g : geometrySweep()) {
+        const AddressMap map(g);
+        std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+        const Addr mask = (Addr{1} << map.addressBits()) - 1;
+        for (unsigned i = 0; i < 256; ++i) {
+            const RowAddr a{next(rng) & mask};
+            EXPECT_EQ(map.convert(map.convert(a)), a);
+            const ColAddr c{next(rng) & mask};
+            EXPECT_EQ(map.convert(map.convert(c)), c);
+        }
+    }
+}
+
+TEST(TypedAddressProperty, ConvertPreservesDecodedFields)
+{
+    // The dual address names the same cell: every decoded field must
+    // survive the orientation change (row/col swap included — decode
+    // reports them in physical terms, not field order).
+    for (const Geometry &g : geometrySweep()) {
+        const AddressMap map(g);
+        std::uint64_t rng = 0x2545f4914f6cdd1dull;
+        const Addr mask = (Addr{1} << map.addressBits()) - 1;
+        for (unsigned i = 0; i < 256; ++i) {
+            const RowAddr a{next(rng) & mask};
+            const DecodedAddr viaRow = map.decode(a);
+            const DecodedAddr viaCol = map.decode(map.convert(a));
+            EXPECT_EQ(viaRow, viaCol);
+        }
+    }
+}
+
+TEST(TypedAddressProperty, EncodeDecodeRoundTrips)
+{
+    for (const Geometry &g : geometrySweep()) {
+        const AddressMap map(g);
+        std::uint64_t rng = 0xda942042e4dd58b5ull;
+        for (unsigned i = 0; i < 256; ++i) {
+            DecodedAddr d;
+            d.channel = next(rng) % g.channels;
+            d.rank = next(rng) % g.ranksPerChannel;
+            d.bank = next(rng) % g.banksPerRank;
+            d.subarray = next(rng) % g.subarraysPerBank;
+            d.row = next(rng) % g.rowsPerSubarray;
+            d.col = next(rng) % g.colsPerSubarray;
+            d.offset = next(rng) % g.wordBytes;
+            EXPECT_EQ(map.decode(map.encodeRow(d)), d);
+            EXPECT_EQ(map.decode(map.encodeCol(d)), d);
+        }
+    }
+}
+
+/** The three paper clocks: 2 GHz CPU, DDR3-1333, LPDDR3-800. */
+template <typename Dom>
+void
+expectEdgeBehaviour(sim::ClockDomain<Dom> clk)
+{
+    const Tick p = clk.period();
+
+    // t = 0 is on an edge and costs zero cycles.
+    EXPECT_EQ(clk.ticksToCycles(Tick{0}), Cycles<Dom>{0});
+    EXPECT_EQ(clk.nextEdgeAt(Tick{0}), Tick{0});
+
+    for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+        const Tick edge = p * n;
+        // An exact edge needs exactly n cycles and is its own edge.
+        EXPECT_EQ(clk.ticksToCycles(edge), Cycles<Dom>{n});
+        EXPECT_EQ(clk.nextEdgeAt(edge), edge);
+        // One tick short still rounds up to the same edge.
+        const Tick shy = edge - Tick{1};
+        EXPECT_EQ(clk.ticksToCycles(shy), Cycles<Dom>{n});
+        EXPECT_EQ(clk.nextEdgeAt(shy), edge);
+        // One tick past commits to the next edge.
+        const Tick past = edge + Tick{1};
+        EXPECT_EQ(clk.ticksToCycles(past), Cycles<Dom>{n + 1});
+        EXPECT_EQ(clk.nextEdgeAt(past), edge + p);
+        // Cycles -> ticks -> cycles is exact (edges are lossless).
+        EXPECT_EQ(clk.ticksToCycles(clk.cyclesToTicks(Cycles<Dom>{n})),
+                  Cycles<Dom>{n});
+    }
+}
+
+TEST(ClockDomainProperty, CpuClockEdges)
+{
+    expectEdgeBehaviour(sim::cpuClock()); // 500 ps
+    EXPECT_EQ(sim::cpuClock().period(), Tick{500});
+}
+
+TEST(ClockDomainProperty, Ddr3BusClockEdges)
+{
+    expectEdgeBehaviour(sim::memClock(Tick{750}));
+}
+
+TEST(ClockDomainProperty, Lpddr3BusClockEdges)
+{
+    expectEdgeBehaviour(sim::memClock(Tick{2500}));
+}
+
+TEST(ClockDomainProperty, DomainsAgreeOnTicksNotCycles)
+{
+    // The same duration is a different cycle count per domain; the
+    // tick value is the shared currency.
+    const auto cpu = sim::cpuClock();
+    const auto ddr = sim::memClock(Tick{750});
+    const Tick t = cpu.cyclesToTicks(CpuCycles{3}); // 1500 ps
+    EXPECT_EQ(ddr.ticksToCycles(t), MemCycles{2});  // ceil(1500/750)
+    EXPECT_EQ(cpu.ticksToCycles(t), CpuCycles{3});
+}
+
+} // namespace
+} // namespace rcnvm

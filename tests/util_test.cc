@@ -89,9 +89,9 @@ TEST(Bitfield, DivCeil)
 
 TEST(Types, TickConversions)
 {
-    EXPECT_EQ(nsToTicks(1.0), 1000u);
-    EXPECT_EQ(nsToTicks(25.0), 25000u);
-    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+    EXPECT_EQ(nsToTicks(1.0), Tick{1000});
+    EXPECT_EQ(nsToTicks(25.0), Tick{25000});
+    EXPECT_DOUBLE_EQ(ticksToNs(Tick{2500}), 2.5);
 }
 
 TEST(Types, OrientationHelpers)
