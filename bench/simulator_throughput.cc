@@ -152,6 +152,64 @@ BM_EndToEndSimulatedAccesses(benchmark::State &state)
 }
 BENCHMARK(BM_EndToEndSimulatedAccesses);
 
+void
+BM_ShardedEngineScaling(benchmark::State &state)
+{
+    // Simulated-tick rate of the channel-sharded engine at 1..8
+    // worker threads over a 4-channel RC-NVM machine (workers clamp
+    // to the channel count). Four cores stream mixed loads/stores
+    // spread across all channels through a deliberately small LLC,
+    // so the channel shards carry most of the event load. On a host
+    // with spare hardware threads the 4-worker rate should scale
+    // towards the channel count; on a single-CPU host the lines
+    // collapse and only the synchronisation overhead is visible.
+    util::setLogLevel(util::LogLevel::Quiet);
+    cpu::MachineConfig config;
+    config.device = mem::DeviceKind::RcNvm;
+    mem::Geometry geometry = mem::geometryFor(config.device);
+    geometry.channels = 4;
+    config.geometry = geometry;
+    config.threads = static_cast<unsigned>(state.range(0));
+    config.hierarchy.l3 =
+        cache::CacheConfig{"L3", 64 * 1024, 64, 8};
+    config.seed = 42;
+    cpu::Machine machine(config);
+    const mem::AddressMap &map = machine.map();
+    std::vector<cpu::AccessPlan> plans(4);
+    for (unsigned core = 0; core < 4; ++core) {
+        for (unsigned i = 0; i < 4096; ++i) {
+            mem::DecodedAddr d;
+            d.channel = (core + i) % geometry.channels;
+            d.rank = i % geometry.ranksPerChannel;
+            d.bank = (i / 3) % geometry.banksPerRank;
+            d.subarray = (i / 7) % geometry.subarraysPerBank;
+            d.row = (core * 31 + i * 7) % geometry.rowsPerSubarray;
+            d.col =
+                ((i * 13) % (geometry.colsPerSubarray / 8)) * 8;
+            const Addr a = map.encode(d, Orientation::Row);
+            plans[core].push_back(i % 3 == 0 ? cpu::MemOp::store(a)
+                                             : cpu::MemOp::load(a));
+        }
+    }
+    std::uint64_t simTicks = 0;
+    for (auto _ : state) {
+        machine.reset();
+        const cpu::RunResult r = machine.run(plans);
+        simTicks += r.ticks.value();
+        benchmark::DoNotOptimize(r.ticks);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096 * 4);
+    state.counters["simTicks/s"] = benchmark::Counter(
+        static_cast<double>(simTicks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedEngineScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 } // namespace
 
 BENCHMARK_MAIN();

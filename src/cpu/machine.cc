@@ -17,9 +17,47 @@ Machine::Machine(const MachineConfig &config) : config_(config)
     const mem::TimingParams timing =
         config_.timing ? *config_.timing
                        : mem::timingFor(config_.device);
+    const mem::Geometry geometry =
+        config_.geometry ? *config_.geometry
+                         : mem::geometryFor(config_.device);
+
+    // Channel sharding is an execution strategy, not a model change.
+    // The lookahead window is half the minimum channel-to-core
+    // response latency (a completion fires at least tCAS + tBURST
+    // after the issue that produced it), which licenses the engine's
+    // depth-1 window pipeline.
+    unsigned threads = std::max(1u, config_.threads);
+    if (threads > 1 && util::ChromeTracer::active() != nullptr) {
+        util::warn("RCNVM_THREADS > 1 is incompatible with Chrome "
+                   "tracing (probes share one sink); running "
+                   "single-threaded");
+        threads = 1;
+    }
+    const Tick smin =
+        timing.cyc(timing.tCAS) + timing.cyc(timing.tBURST);
+    const Tick window{smin.value() / 2};
+    if (threads > 1 && window == Tick{}) {
+        util::warn("device timing gives no cross-shard lookahead; "
+                   "running single-threaded");
+        threads = 1;
+    }
+
+    std::vector<sim::EventQueue *> channelQueues;
+    if (threads > 1) {
+        for (unsigned c = 0; c < geometry.channels; ++c) {
+            channelQueues_.push_back(
+                std::make_unique<sim::EventQueue>());
+            channelQueues.push_back(channelQueues_.back().get());
+        }
+    }
     memory_ = std::make_unique<mem::MemorySystem>(
         config_.device, eq_, timing, config_.salp,
-        config_.memQueueCapacity);
+        config_.memQueueCapacity, geometry, channelQueues);
+    if (threads > 1) {
+        engine_ = std::make_unique<sim::ParallelEngine>(
+            eq_, channelQueues, threads, window);
+        memory_->attachShardLink(*engine_);
+    }
     hierarchy_ = std::make_unique<cache::Hierarchy>(
         config_.hierarchy, eq_, *memory_);
     for (unsigned c = 0; c < config_.hierarchy.cores; ++c) {
@@ -88,7 +126,10 @@ Machine::run(const std::vector<AccessPlan> &plans)
     if (sampler_)
         sampler_->start(config_.epochTicks);
 
-    eq_.run();
+    if (engine_)
+        engine_->run();
+    else
+        eq_.run();
 
     if (running != 0)
         rcnvm_panic("simulation deadlock: ", running,
@@ -134,7 +175,10 @@ Machine::serve()
     if (sampler_)
         sampler_->start(config_.epochTicks);
 
-    eq_.run();
+    if (engine_)
+        engine_->run();
+    else
+        eq_.run();
 
     for (std::size_t c = 0; c < cores_.size(); ++c) {
         if (!cores_[c]->finished())

@@ -17,6 +17,7 @@
 #include "mem/memory_system.hh"
 #include "sim/epoch_sampler.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "util/random.hh"
 #include "util/stat_registry.hh"
 #include "util/stats.hh"
@@ -32,6 +33,21 @@ struct MachineConfig {
     unsigned window = 8; //!< outstanding accesses per core
     bool salp = false;   //!< subarray-level parallelism extension
     unsigned memQueueCapacity = 32; //!< per-channel queue depth
+    /** Memory geometry override (channel-scaling studies; defaults
+     *  to the device's Table-1 preset). */
+    std::optional<mem::Geometry> geometry;
+    /**
+     * Channel worker threads for the sharded parallel engine;
+     * RCNVM_THREADS overrides the built-in default of 1. At 1 the
+     * machine runs the classic single-queue loop, byte-identical to
+     * every previous release; above 1 each memory channel gets a
+     * private event queue drained by a worker pool of this size
+     * (clamped to the channel count) behind a conservative window
+     * pipeline. Statistics are identical either way up to the
+     * documented saturation caveat (DESIGN.md section 4f).
+     */
+    unsigned threads =
+        static_cast<unsigned>(util::envUint64("RCNVM_THREADS", 1));
     /** Epoch-sample period in ticks; 0 disables the time series. */
     Tick epochTicks{0};
     /**
@@ -137,6 +153,10 @@ class Machine
     /** Access to the memory system (tests and advanced callers). */
     mem::MemorySystem &memory() { return *memory_; }
 
+    /** The sharded engine, or nullptr in single-queue mode (tests
+     *  and benchmarks inspect worker counts and round statistics). */
+    sim::ParallelEngine *engine() { return engine_.get(); }
+
     /** The machine-wide statistics registry (tests and reports).
      *  run() snapshots it; callers may read it mid-run too. */
     const util::StatRegistry &registry() const { return registry_; }
@@ -149,7 +169,10 @@ class Machine
 
   private:
     MachineConfig config_;
-    sim::EventQueue eq_;
+    sim::EventQueue eq_; //!< core/cache shard (the only queue at
+                         //!< threads = 1)
+    /** Per-channel shard queues (empty in single-queue mode). */
+    std::vector<std::unique_ptr<sim::EventQueue>> channelQueues_;
     std::unique_ptr<mem::MemorySystem> memory_;
     std::unique_ptr<cache::Hierarchy> hierarchy_;
     std::vector<std::unique_ptr<Core>> cores_;
@@ -159,6 +182,9 @@ class Machine
      *  but the ordering keeps the invariant obvious). */
     util::StatRegistry registry_;
     std::unique_ptr<sim::EpochSampler> sampler_;
+    /** Declared last: its destructor joins the worker threads, so
+     *  every component the workers may touch outlives them. */
+    std::unique_ptr<sim::ParallelEngine> engine_;
 };
 
 } // namespace rcnvm::cpu

@@ -8,6 +8,7 @@
 #define RCNVM_MEM_CONTROLLER_HH_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -21,6 +22,10 @@
 #include "sim/event_queue.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
+
+namespace rcnvm::sim {
+class ShardMailbox;
+} // namespace rcnvm::sim
 
 namespace rcnvm::mem {
 
@@ -99,6 +104,26 @@ class ChannelController
     void setSpaceCallback(std::function<void()> cb)
     {
         spaceCb_ = std::move(cb);
+    }
+
+    /**
+     * Route completion callbacks through @p port instead of this
+     * channel's event queue (channel-sharded mode: completions must
+     * run on the core shard). While ported, the controller also
+     * counts dequeues in an atomic the core shard reads at window
+     * exchanges to maintain its occupancy mirror; the space callback
+     * mechanism is unused in this mode.
+     */
+    void setCompletionPort(sim::ShardMailbox *port)
+    {
+        completionPort_ = port;
+    }
+
+    /** Requests dequeued (issued to a bank) since construction or
+     *  reset. Safe to read from the core shard between rounds. */
+    std::uint64_t dequeueCount() const
+    {
+        return dequeued_.load(std::memory_order_acquire);
     }
 
     /** Controller statistics. */
@@ -186,6 +211,8 @@ class ChannelController
     ControllerStats stats_;
     std::function<void()> spaceCb_;
     bool spaceNotifyPending_ = false;
+    sim::ShardMailbox *completionPort_ = nullptr;
+    std::atomic<std::uint64_t> dequeued_{0};
 
     /** Max bypasses of the globally oldest request. */
     static constexpr unsigned starvationCap = 16;

@@ -1,0 +1,244 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace rcnvm::sim {
+
+namespace {
+
+/** One iteration of a bounded spin-then-yield-then-sleep wait.
+ *  @p spins counts calls so far; the first @p spin_budget of them
+ *  are busy pauses (cheap when a spare hardware thread exists),
+ *  then the scheduler is yielded to, and after sustained waiting
+ *  the thread sleeps so parked workers cost nothing between runs. */
+void
+relaxWait(std::uint64_t &spins, unsigned spin_budget)
+{
+    ++spins;
+    if (spins <= spin_budget) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield");
+#endif
+        return;
+    }
+    if (spins <= spin_budget + 4096) {
+        std::this_thread::yield();
+        return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+}
+
+} // namespace
+
+void
+ShardMailbox::post(Tick when, Tick sched_tick, Tick sched_tick2,
+                   EventQueue::Callback cb)
+{
+    if (msgs_.size() >= kMaxBacklog)
+        rcnvm_panic("shard mailbox backlog exceeded ", kMaxBacklog,
+                    " messages; the window exchange is not running");
+    msgs_.push_back(Msg{when, sched_tick, sched_tick2,
+                        std::move(cb)});
+}
+
+void
+ShardMailbox::drainInto(EventQueue &q)
+{
+    for (Msg &m : msgs_)
+        q.inject(m.when, m.schedTick, m.schedTick2, std::move(m.cb));
+    msgs_.clear();
+}
+
+ParallelEngine::ParallelEngine(EventQueue &core,
+                               std::vector<EventQueue *> channels,
+                               unsigned workers, Tick window)
+    : core_(core),
+      channels_(std::move(channels)),
+      toChannel_(channels_.size()),
+      toCore_(channels_.size()),
+      window_(window)
+{
+    if (channels_.empty())
+        rcnvm_panic("sharded engine needs at least one channel");
+    if (window_ == Tick{})
+        rcnvm_panic("sharded engine needs a non-zero window");
+
+    const unsigned n = std::max(
+        1u,
+        std::min(workers,
+                 static_cast<unsigned>(channels_.size())));
+    nWorkers_ = n;
+    done_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (unsigned w = 0; w < n; ++w)
+        done_[w].store(0, std::memory_order_relaxed);
+
+    // Busy-spinning only pays when the waiting thread does not
+    // preempt the thread it waits for; on an oversubscribed host
+    // (fewer hardware threads than engine threads) go straight to
+    // yielding.
+    const unsigned hw = std::thread::hardware_concurrency();
+    spinBudget_ = hw > n ? 2048 : 0;
+
+    threads_.reserve(n);
+    for (unsigned w = 0; w < n; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    go_.store(round_ + 1, std::memory_order_release);
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ParallelEngine::workerLoop(unsigned w)
+{
+    const unsigned stride = nWorkers_;
+    for (std::uint64_t round = 1;; ++round) {
+        std::uint64_t spins = 0;
+        while (go_.load(std::memory_order_acquire) < round)
+            relaxWait(spins, spinBudget_);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        const Tick limit = limit_;
+        for (std::size_t c = w; c < channels_.size(); c += stride)
+            channels_[c]->drainThrough(limit);
+        done_[w].store(round, std::memory_order_release);
+    }
+}
+
+void
+ParallelEngine::launchRound(Tick limit)
+{
+    limit_ = limit;
+    go_.store(++round_, std::memory_order_release);
+}
+
+void
+ParallelEngine::joinRound()
+{
+    for (std::size_t w = 0; w < threads_.size(); ++w) {
+        std::uint64_t spins = 0;
+        while (done_[w].load(std::memory_order_acquire) < round_)
+            relaxWait(spins, spinBudget_);
+    }
+}
+
+void
+ParallelEngine::exchange(Tick next_window_start)
+{
+    // Delivery order across mailboxes is immaterial: every message
+    // carries its single-queue depth-2 lineage stamps and the
+    // receiving queue's comparator places it from those. Only a
+    // full lineage tie (messages due at one tick, scheduled at one
+    // tick, by producers scheduled at one tick) falls back to seq,
+    // i.e. channel index.
+    for (std::size_t c = 0; c < channels_.size(); ++c)
+        toChannel_[c].drainInto(*channels_[c]);
+    for (ShardMailbox &box : toCore_)
+        box.drainInto(core_);
+    if (exchangeHook_)
+        exchangeHook_(next_window_start);
+}
+
+bool
+ParallelEngine::anyPending() const
+{
+    if (core_.pending() > 0)
+        return true;
+    for (const EventQueue *q : channels_) {
+        if (q->pending() > 0)
+            return true;
+    }
+    return false;
+}
+
+Tick
+ParallelEngine::minNextTick() const
+{
+    Tick best{~std::uint64_t{0}};
+    if (core_.pending() > 0)
+        best = core_.nextEventTick();
+    for (const EventQueue *q : channels_) {
+        if (q->pending() > 0)
+            best = std::min(best, q->nextEventTick());
+    }
+    return best;
+}
+
+void
+ParallelEngine::run()
+{
+    const Tick G = window_;
+    bool owed = false; //!< channels still owe the window below
+    Tick owedStart{0};
+
+    // Clients may have issued before the pipeline started (plan
+    // setup runs synchronously); deliver those messages so the
+    // window decisions below see every pending event.
+    exchange(core_.now());
+
+    for (;;) {
+        if (owed) {
+            // The core has finished [owedStart, owedStart + G); the
+            // channels have not run it yet. The only core window
+            // that may legally overlap their catch-up is the
+            // contiguous one: with a gap, a completion produced in
+            // the owed window (tick >= owedStart + 2G) could land
+            // inside the core's window and be missed.
+            const Tick contig = owedStart + G;
+            const bool coreWork = core_.pending() > 0 &&
+                                  core_.nextEventTick() < contig + G;
+            if (coreWork) {
+                ++overlapped_;
+                launchRound(owedStart + G - Tick{1});
+                core_.drainThrough(contig + G - Tick{1});
+                joinRound();
+                exchange(contig + G);
+                owedStart = contig;
+            } else {
+                // Core idle in the contiguous window: let the
+                // channels catch up alone, deliver their output,
+                // and re-decide (the completions may create the
+                // core work the pipeline was missing).
+                ++flushes_;
+                launchRound(owedStart + G - Tick{1});
+                joinRound();
+                exchange(contig);
+                owed = false;
+            }
+        } else {
+            // Pipeline empty: nothing undelivered, channels caught
+            // up. Jump to the earliest actionable tick anywhere and
+            // restart the pipeline with a core-only round (the
+            // channels' matching window runs next round, exactly
+            // like the pipeline's very first window).
+            if (!anyPending())
+                break;
+            const Tick S = minNextTick();
+            core_.drainThrough(S + G - Tick{1});
+            exchange(S + G);
+            owed = true;
+            owedStart = S;
+        }
+    }
+
+    // Align every shard clock at the globally last executed tick so
+    // now()-derived values (serve() spans, statistics windows) read
+    // as they would after a single-queue run.
+    Tick last = core_.now();
+    for (EventQueue *q : channels_)
+        last = std::max(last, q->now());
+    core_.advanceTo(last);
+    for (EventQueue *q : channels_)
+        q->advanceTo(last);
+}
+
+} // namespace rcnvm::sim

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Channel-sharded conservative parallel simulation engine.
+ *
+ * The machine's event population splits into one core/cache shard
+ * (shard 0: cores, hierarchy, retry plumbing) and one shard per
+ * memory channel (its controller, banks, and bank-level events),
+ * each with a private EventQueue. Shards advance in fixed windows of
+ * G ticks, where G is half the minimum channel-to-cache response
+ * latency S (derivable from TimingParams: a completion fires at
+ * least tCAS + tBURST after the issue event that produced it).
+ *
+ * Synchronization is a depth-1 pipeline rather than a lockstep
+ * barrier: while the channel shards execute window k, the core shard
+ * executes window k+1. Both cross-shard directions are covered by
+ * construction:
+ *
+ *  - core -> channel (issue) messages carry ticks inside the core's
+ *    window k+1; the channels only process that window one round
+ *    later, after the messages were delivered at the exchange.
+ *    Zero-latency issues (write-back drains at fill ticks) are
+ *    therefore always visible in time.
+ *  - channel -> core (completion) messages produced in window k have
+ *    ticks >= k's start + S = k's start + 2G, i.e. at or beyond the
+ *    end of the core's concurrent window k+1, so the core never
+ *    misses one; they are delivered at the exchange and executed in
+ *    a later window.
+ *
+ * Messages travel through single-producer mailboxes drained by the
+ * coordinator at window boundaries and spliced into the receiving
+ * queue with EventQueue::inject(), stamped with the depth-2 lineage
+ * (schedule tick, producer schedule tick) the entry would have had
+ * on a single shared queue, so the same-tick order matches the
+ * single-queue interleaving. With RCNVM_THREADS=1 none of this
+ * machinery is constructed and the classic single-queue loop runs
+ * unchanged (byte-identical goldens).
+ */
+
+#ifndef RCNVM_SIM_SHARD_HH_
+#define RCNVM_SIM_SHARD_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "util/types.hh"
+
+namespace rcnvm::sim {
+
+/**
+ * A bounded single-producer mailbox for cross-shard messages. One
+ * shard posts during a window; the coordinator drains at the next
+ * exchange, so the backlog is bounded by one window's traffic. The
+ * producer and the draining coordinator are always separated by the
+ * engine's round barrier, which provides the happens-before edge.
+ */
+class ShardMailbox
+{
+  public:
+    /** Post @p cb for delivery at @p when, carrying the depth-2
+     *  lineage stamps the entry would have had on a single shared
+     *  queue: scheduled at @p sched_tick by a producer that was
+     *  itself scheduled at @p sched_tick2. The receiving queue's
+     *  comparator places the message among same-tick events from
+     *  those stamps alone, so delivery order across mailboxes does
+     *  not matter beyond full-tie seq order. */
+    void post(Tick when, Tick sched_tick, Tick sched_tick2,
+              EventQueue::Callback cb);
+
+    /** Inject every message, in post order, into @p q and clear. */
+    void drainInto(EventQueue &q);
+
+    /** True when no messages are waiting. */
+    bool empty() const { return msgs_.empty(); }
+
+  private:
+    struct Msg {
+        Tick when;
+        Tick schedTick;
+        Tick schedTick2;
+        EventQueue::Callback cb;
+    };
+
+    /** A window's cross-shard traffic is bounded by the events in
+     *  it; a backlog this deep means the exchange stopped running. */
+    static constexpr std::size_t kMaxBacklog = 1u << 22;
+
+    std::vector<Msg> msgs_;
+};
+
+/**
+ * The coordinator: owns the worker threads, the per-direction
+ * mailboxes, and the window pipeline over one core queue plus N
+ * channel queues. Construction spawns the workers (parked on an
+ * atomic round counter); destruction joins them. run() drains every
+ * shard to quiescence and leaves all queue clocks aligned at the
+ * globally last executed tick, so callers observe the same now() a
+ * single-queue run would report.
+ */
+class ParallelEngine
+{
+  public:
+    /**
+     * @param core      the core/cache shard's queue (shard 0)
+     * @param channels  one queue per memory channel
+     * @param workers   worker-thread budget (clamped to channel
+     *                  count; at least one)
+     * @param window    window length G in ticks; must satisfy
+     *                  2 * G <= minimum cross-shard response latency
+     */
+    ParallelEngine(EventQueue &core, std::vector<EventQueue *> channels,
+                   unsigned workers, Tick window);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /** Mailbox for issue traffic into channel @p c. */
+    ShardMailbox &toChannel(unsigned c) { return toChannel_[c]; }
+
+    /** Mailbox for completion traffic from channel @p c. */
+    ShardMailbox &toCore(unsigned c) { return toCore_[c]; }
+
+    /**
+     * Register the exchange hook, called by the coordinator at every
+     * window boundary after message delivery with the next core
+     * window's start tick. The memory system uses it to fold channel
+     * dequeue counts into its occupancy mirrors and to inject retry
+     * notifications for clients refused under backpressure.
+     */
+    void setExchangeHook(std::function<void(Tick)> hook)
+    {
+        exchangeHook_ = std::move(hook);
+    }
+
+    /** Run the window pipeline until every shard is drained. */
+    void run();
+
+    /** Window length G in ticks. */
+    Tick window() const { return window_; }
+
+    /** Worker threads actually spawned. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Pipelined (overlapped) rounds executed so far. */
+    std::uint64_t overlappedRounds() const { return overlapped_; }
+
+    /** Flush (channel-only) rounds executed so far. */
+    std::uint64_t flushRounds() const { return flushes_; }
+
+  private:
+    /** Body of worker @p w: drain its channels through each granted
+     *  window limit until stopped. */
+    void workerLoop(unsigned w);
+
+    /** Grant the workers one round through @p limit. */
+    void launchRound(Tick limit);
+
+    /** Wait until every worker finished the granted round. */
+    void joinRound();
+
+    /** Deliver all mailboxes and call the exchange hook. */
+    void exchange(Tick next_window_start);
+
+    /** True when any shard still has pending events. */
+    bool anyPending() const;
+
+    /** Earliest pending tick across all shards. @pre anyPending() */
+    Tick minNextTick() const;
+
+    EventQueue &core_;
+    std::vector<EventQueue *> channels_;
+    std::vector<ShardMailbox> toChannel_;
+    std::vector<ShardMailbox> toCore_;
+    std::function<void(Tick)> exchangeHook_;
+    Tick window_;
+
+    // Round barrier. The coordinator publishes a round number in
+    // go_ (release) after writing limit_; workers acknowledge in
+    // their done_ slot (release) after draining their channels.
+    // These two edges order every cross-thread access of queues and
+    // mailboxes, so everything else is plain data.
+    std::atomic<std::uint64_t> go_{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> done_;
+    Tick limit_{0};
+    std::atomic<bool> stop_{false};
+    std::uint64_t round_ = 0;
+    unsigned nWorkers_ = 0; //!< fixed before any thread starts
+    unsigned spinBudget_; //!< pause-spins before yielding (0 when
+                          //!< the host lacks spare hardware threads)
+    std::vector<std::thread> threads_;
+
+    std::uint64_t overlapped_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace rcnvm::sim
+
+#endif // RCNVM_SIM_SHARD_HH_

@@ -1,7 +1,11 @@
 #include "util/random.hh"
 
 #include <cassert>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+
+#include "util/logging.hh"
 
 namespace rcnvm::util {
 
@@ -83,11 +87,35 @@ Random::nextBool(double p)
 }
 
 std::uint64_t
+envUint64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    // strtoull is too permissive on its own: it accepts leading
+    // whitespace and signs, stops silently at the first bad
+    // character, and saturates on overflow. Each of those turns a
+    // typo into a quietly different experiment, so all are rejected.
+    if (*env == '\0' || std::isspace(static_cast<unsigned char>(*env)) ||
+        *env == '+' || *env == '-')
+        rcnvm_fatal(name, "=\"", env, "\" is not an unsigned integer");
+    const int base =
+        (env[0] == '0' && (env[1] == 'x' || env[1] == 'X')) ? 16 : 10;
+    char *end = nullptr;
+    errno = 0;
+    const std::uint64_t value = std::strtoull(env, &end, base);
+    if (end == env || *end != '\0')
+        rcnvm_fatal(name, "=\"", env, "\" is not a valid ",
+                    base == 16 ? "0x-hex" : "decimal", " integer");
+    if (errno == ERANGE)
+        rcnvm_fatal(name, "=\"", env, "\" overflows 64 bits");
+    return value;
+}
+
+std::uint64_t
 envSeed(std::uint64_t fallback)
 {
-    if (const char *env = std::getenv("RCNVM_SEED"))
-        return std::strtoull(env, nullptr, 10);
-    return fallback;
+    return envUint64("RCNVM_SEED", fallback);
 }
 
 } // namespace rcnvm::util

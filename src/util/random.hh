@@ -43,11 +43,21 @@ class Random
 };
 
 /**
+ * Strictly parsed unsigned 64-bit environment variable: @p fallback
+ * when @p name is unset, otherwise the value parsed as decimal or
+ * 0x-prefixed hexadecimal. The whole string must parse — a partial
+ * parse ("123abc"), an empty value, a sign, or an out-of-range
+ * magnitude is a fatal configuration error rather than a silent 0
+ * or a silent truncation.
+ */
+std::uint64_t envUint64(const char *name, std::uint64_t fallback);
+
+/**
  * The experiment seed: the RCNVM_SEED environment variable when set
- * (parsed as an unsigned decimal), otherwise @p fallback. All
- * seed-taking entry points (table generation, the OLXP service
- * generators) default through this, so one variable reseeds a whole
- * run without recompiling.
+ * (decimal or 0x-hex, strictly validated — malformed values are
+ * fatal), otherwise @p fallback. All seed-taking entry points (table
+ * generation, the OLXP service generators) default through this, so
+ * one variable reseeds a whole run without recompiling.
  */
 std::uint64_t envSeed(std::uint64_t fallback);
 

@@ -42,9 +42,9 @@ Log2Histogram::percentile(double p) const
     for (unsigned i = 0; i < kBuckets; ++i) {
         cum += buckets_[i];
         if (cum >= rank)
-            return static_cast<double>(bucketLow(i));
+            return static_cast<double>(bucketHigh(i));
     }
-    return static_cast<double>(bucketLow(kBuckets - 1));
+    return static_cast<double>(bucketHigh(kBuckets - 1));
 }
 
 void

@@ -108,6 +108,18 @@ class Log2Histogram
         return i <= 1 ? i : std::uint64_t{1} << (i - 1);
     }
 
+    /** Largest value bucket @p i accepts (its inclusive right
+     *  edge): 0 for the zero bucket, 2^i - 1 otherwise. */
+    static std::uint64_t
+    bucketHigh(unsigned i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << i) - 1;
+    }
+
     /** Record one sample. */
     void
     sample(std::uint64_t v)
@@ -123,10 +135,13 @@ class Log2Histogram
     std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
 
     /**
-     * The @p p quantile (p in [0, 1]) at bucket resolution: the left
-     * edge of the bucket containing the ceil(p * count)-th smallest
-     * sample — a lower bound on the true quantile that is exact
-     * within the factor-of-two bucket width. 0 when empty.
+     * The @p p quantile (p in [0, 1]) at bucket resolution: the
+     * inclusive right edge of the bucket containing the
+     * ceil(p * count)-th smallest sample — a conservative upper
+     * bound on the true quantile, exact within the factor-of-two
+     * bucket width. (It used to return the left edge, which
+     * understated tails by up to 2x; reported percentiles never
+     * undersell latency now.) 0 when empty.
      */
     double percentile(double p) const;
 

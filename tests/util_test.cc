@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
@@ -351,23 +354,47 @@ TEST(Stats, HistogramBucketBoundaries)
     EXPECT_EQ(Log2Histogram::bucketLow(4), 8u);
 }
 
-TEST(Stats, HistogramPercentileReturnsBucketLeftEdge)
+TEST(Stats, HistogramPercentileReturnsBucketRightEdge)
 {
     Log2Histogram h;
     for (std::uint64_t v = 1; v <= 8; ++v)
-        h.sample(v); // buckets: 1:[1] 2:[2,3] 3:[4..7] 4:[8]
+        h.sample(v); // buckets: 1:[1] 2:[2,3] 3:[4..7] 4:[8..15]
     // rank = ceil(p * 8): p50 -> 4th smallest (value 4, bucket 3,
-    // left edge 4); p95/p99 -> 8th smallest (value 8, edge 8).
-    EXPECT_DOUBLE_EQ(h.percentile(0.50), 4.0);
-    EXPECT_DOUBLE_EQ(h.percentile(0.95), 8.0);
-    EXPECT_DOUBLE_EQ(h.percentile(0.99), 8.0);
+    // right edge 7); p95/p99 -> 8th smallest (value 8, edge 15).
+    // The right edge never understates the true percentile; the old
+    // left edge could halve it.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 15.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 15.0);
     // p at or below the first sample's bucket share returns its edge.
     EXPECT_DOUBLE_EQ(h.percentile(0.125), 1.0);
     EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
-    EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 15.0);
     // Out-of-range p clamps instead of reading past the buckets.
     EXPECT_DOUBLE_EQ(h.percentile(-1.0), 1.0);
-    EXPECT_DOUBLE_EQ(h.percentile(2.0), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 15.0);
+}
+
+TEST(Stats, HistogramPercentileNeverUnderstates)
+{
+    // The reported percentile must upper-bound the exact one for
+    // every sampled value and every p (the bug this guards against
+    // reported the bucket floor, up to 2x low).
+    Log2Histogram h;
+    const std::uint64_t values[] = {1, 3, 7, 12, 100, 1000, 4096};
+    for (std::uint64_t v : values)
+        h.sample(v);
+    const std::size_t n = std::size(values);
+    for (std::size_t rank = 1; rank <= n; ++rank) {
+        const double p =
+            static_cast<double>(rank) / static_cast<double>(n);
+        EXPECT_GE(h.percentile(p),
+                  static_cast<double>(values[rank - 1]))
+            << "p=" << p;
+    }
+    // Monotone in p.
+    for (double p = 0.05; p < 1.0; p += 0.05)
+        EXPECT_LE(h.percentile(p), h.percentile(p + 0.05)) << p;
 }
 
 TEST(Stats, HistogramPercentileEdgeCases)
@@ -381,9 +408,15 @@ TEST(Stats, HistogramPercentileEdgeCases)
     EXPECT_DOUBLE_EQ(zeros.percentile(0.99), 0.0); // bucket 0 = zero
 
     Log2Histogram one;
-    one.sample(1000); // [512, 1024) -> edge 512
-    EXPECT_DOUBLE_EQ(one.percentile(0.50), 512.0);
-    EXPECT_DOUBLE_EQ(one.percentile(0.99), 512.0);
+    one.sample(1000); // [512, 1024) -> right edge 1023
+    EXPECT_DOUBLE_EQ(one.percentile(0.50), 1023.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.99), 1023.0);
+
+    // Exact powers of two sit at their bucket's left edge; the
+    // reported right edge still bounds them.
+    Log2Histogram pow2;
+    pow2.sample(8); // [8,16) -> 15
+    EXPECT_DOUBLE_EQ(pow2.percentile(1.0), 15.0);
 }
 
 TEST(Stats, HistogramMergeAddsBuckets)
@@ -399,6 +432,55 @@ TEST(Stats, HistogramMergeAddsBuckets)
     EXPECT_EQ(a.bucket(1), 2u);
     EXPECT_EQ(a.bucket(Log2Histogram::bucketOf(100)), 1u);
     EXPECT_GE(a.usedBuckets(), 3u);
+}
+
+class EnvSeedTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { unsetenv("RCNVM_SEED"); }
+};
+
+TEST_F(EnvSeedTest, UnsetReturnsFallback)
+{
+    unsetenv("RCNVM_SEED");
+    EXPECT_EQ(envSeed(42), 42u);
+    EXPECT_EQ(envUint64("RCNVM_SEED", 7), 7u);
+}
+
+TEST_F(EnvSeedTest, ParsesDecimalAndHex)
+{
+    setenv("RCNVM_SEED", "12345", 1);
+    EXPECT_EQ(envSeed(42), 12345u);
+    setenv("RCNVM_SEED", "0", 1);
+    EXPECT_EQ(envSeed(42), 0u);
+    setenv("RCNVM_SEED", "0xDEADbeef", 1);
+    EXPECT_EQ(envSeed(42), 0xdeadbeefull);
+    setenv("RCNVM_SEED", "18446744073709551615", 1); // UINT64_MAX
+    EXPECT_EQ(envSeed(42), ~std::uint64_t{0});
+}
+
+using EnvSeedDeathTest = EnvSeedTest;
+
+TEST_F(EnvSeedDeathTest, RejectsMalformedValues)
+{
+    // Each of these used to silently seed 0 (or a truncated prefix),
+    // turning a typo into a different experiment.
+    const char *bad[] = {"garbage", "123abc", "",     " 5",
+                         "5 ",      "-1",     "+7",   "0x",
+                         "0xfg",    "1e3",    "12.5"};
+    for (const char *v : bad) {
+        setenv("RCNVM_SEED", v, 1);
+        EXPECT_EXIT(envSeed(42), ::testing::ExitedWithCode(1),
+                    "RCNVM_SEED")
+            << "value: \"" << v << '"';
+    }
+}
+
+TEST_F(EnvSeedDeathTest, RejectsOverflow)
+{
+    setenv("RCNVM_SEED", "18446744073709551616", 1); // 2^64
+    EXPECT_EXIT(envSeed(42), ::testing::ExitedWithCode(1),
+                "overflows");
 }
 
 TEST(TablePrinterTest, FormatsAlignedColumns)

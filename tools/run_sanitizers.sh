@@ -1,18 +1,51 @@
 #!/bin/sh
-# Sanitizer job: build the full tree with ASan+UBSan and run ctest.
-# Uses a dedicated build directory so it never disturbs the primary
+# Sanitizer job: build the full tree under sanitizers and run ctest.
+# Uses dedicated build directories so it never disturbs the primary
 # build/. Any sanitizer report fails the run (halt_on_error below and
 # -DCTEST exit codes).
+#
+# Usage: run_sanitizers.sh [mode] [build-dir]
+#   mode: asan-ubsan (default) | tsan
+#
+# tsan exists for the channel-sharded parallel engine: it rebuilds
+# with -fsanitize=thread and runs the multi-threaded tests (the
+# ParallelEngine suite plus anything else that spawns workers) with
+# RCNVM_THREADS=4 so the shard synchronisation is exercised under
+# the race detector. ThreadSanitizer cannot be combined with ASan,
+# hence the separate mode and build directory.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
-bdir=${1:-"$root/build-sanitize"}
+mode=${1:-asan-ubsan}
 
-cmake -B "$bdir" -S "$root" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DRCNVM_SANITIZE="address;undefined"
-cmake --build "$bdir" -j "$(nproc)"
+case "$mode" in
+asan-ubsan)
+    bdir=${2:-"$root/build-sanitize"}
+    cmake -B "$bdir" -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRCNVM_SANITIZE="address;undefined"
+    cmake --build "$bdir" -j "$(nproc)"
 
-ASAN_OPTIONS=detect_leaks=1:halt_on_error=1 \
-UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
-    ctest --test-dir "$bdir" --output-on-failure -j "$(nproc)"
+    ASAN_OPTIONS=detect_leaks=1:halt_on_error=1 \
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+        ctest --test-dir "$bdir" --output-on-failure -j "$(nproc)"
+    ;;
+tsan)
+    bdir=${2:-"$root/build-tsan"}
+    cmake -B "$bdir" -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRCNVM_SANITIZE="thread"
+    cmake --build "$bdir" -j "$(nproc)"
+
+    # The whole suite runs with the engine forced on, so every
+    # machine-level test doubles as a shard-race probe; gtest death
+    # tests fork, which TSan tolerates but slows, so keep -j modest.
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+    RCNVM_THREADS=4 \
+        ctest --test-dir "$bdir" --output-on-failure -j 2
+    ;;
+*)
+    echo "unknown mode '$mode' (want asan-ubsan or tsan)" >&2
+    exit 2
+    ;;
+esac
