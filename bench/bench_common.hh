@@ -23,6 +23,54 @@
 
 namespace rcnvm::bench {
 
+/**
+ * Standard `--help` handling for the bench binaries.
+ *
+ * Scans argv for `--help`/`-h`; when present prints a usage block —
+ * the one-line description, any bench-specific option lines, and the
+ * environment knobs every bench honours — and returns true so main
+ * can exit 0 without running the sweep.
+ */
+inline bool
+handleUsage(int argc, char **argv, const std::string &name,
+            const std::string &description,
+            const std::vector<std::string> &options = {})
+{
+    bool wanted = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--help" ||
+            std::string(argv[i]) == "-h")
+            wanted = true;
+    }
+    if (!wanted)
+        return false;
+
+    std::cout << "usage: " << name << " [--help]";
+    for (const std::string &opt : options)
+        std::cout << " [" << opt.substr(0, opt.find(' ')) << "]";
+    std::cout << "\n\n" << description << "\n";
+    if (!options.empty()) {
+        std::cout << "\noptions:\n";
+        for (const std::string &opt : options)
+            std::cout << "  " << opt << "\n";
+    }
+    std::cout <<
+        "\nenvironment:\n"
+        "  RCNVM_SEED          experiment seed (tables and request\n"
+        "                      generators); same seed => identical\n"
+        "                      statistics\n"
+        "  RCNVM_TUPLES        tuples per benchmark table\n"
+        "  RCNVM_THREADS       channel worker threads (default 1);\n"
+        "                      any value reproduces the same stats\n"
+        "  RCNVM_STATS_DIR     write per-run stats CSV artifacts\n"
+        "                      into this directory\n"
+        "  RCNVM_EPOCH_TICKS   sample gauges every N ticks into an\n"
+        "                      epoch series (exported with stats)\n"
+        "  RCNVM_CHROME_TRACE  write a chrome://tracing JSON to this\n"
+        "                      path (forces single-threaded)\n";
+    return true;
+}
+
 /** Tuples per benchmark table (override: RCNVM_TUPLES). */
 inline std::uint64_t
 benchTuples(std::uint64_t fallback = 131072)

@@ -58,6 +58,17 @@ usLabel(double ticks)
 int
 main(int argc, char **argv)
 {
+    if (bench::handleUsage(
+            argc, argv, "ext_olxp_service",
+            "Extension bench: OLXP service saturation curves. Sweeps "
+            "the offered\nopen-loop OLTP load against a fixed "
+            "closed-loop OLAP scan background\non all four devices "
+            "and reports per-class tail latency and each\ndevice's "
+            "saturation knee.",
+            {"--smoke  reduced sweep (smaller tables, fewer load "
+             "points) for CI"}))
+        return 0;
+
     bool smoke = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)

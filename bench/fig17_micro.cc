@@ -35,8 +35,15 @@ runOne(mem::DeviceKind kind, const workload::TableSet &tables,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (bench::handleUsage(
+            argc, argv, "fig17_micro",
+            "Figure 17 reproduction: {row,col} x {read,write} scan "
+            "micro-benchmarks\non RC-NVM, RRAM, and DRAM, for "
+            "row-oriented (L1) and column-oriented\n(L2) layouts."))
+        return 0;
+
     util::setLogLevel(util::LogLevel::Quiet);
     const std::uint64_t tuples = bench::benchTuples(32768);
     const workload::TableSet tables =

@@ -9,7 +9,7 @@
 namespace rcnvm::cache {
 
 Hierarchy::Hierarchy(const HierarchyConfig &config, sim::EventQueue &eq,
-                     mem::MemorySystem &memory)
+                     mem::MemoryTier &memory)
     : config_(config),
       eq_(eq),
       memory_(memory),

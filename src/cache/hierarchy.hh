@@ -90,7 +90,7 @@ class Hierarchy
 {
   public:
     Hierarchy(const HierarchyConfig &config, sim::EventQueue &eq,
-              mem::MemorySystem &memory);
+              mem::MemoryTier &memory);
 
     /** The configuration in use. */
     const HierarchyConfig &config() const { return config_; }
@@ -203,7 +203,7 @@ class Hierarchy
 
     HierarchyConfig config_;
     sim::EventQueue &eq_;
-    mem::MemorySystem &memory_;
+    mem::MemoryTier &memory_;
     bool synonymEnabled_;
     SynonymMapper synonym_;
 

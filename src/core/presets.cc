@@ -22,4 +22,14 @@ table1MachineWithCell(mem::DeviceKind kind, double read_ns,
     return config;
 }
 
+cpu::MachineConfig
+hybridTable1Machine(mem::MigrationPolicyKind policy)
+{
+    cpu::MachineConfig config =
+        table1Machine(mem::DeviceKind::RcNvm);
+    config.tier.enabled = true;
+    config.tier.policy = policy;
+    return config;
+}
+
 } // namespace rcnvm::core

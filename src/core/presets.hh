@@ -29,6 +29,15 @@ cpu::MachineConfig table1MachineWithCell(mem::DeviceKind kind,
                                          double read_ns,
                                          double write_ns);
 
+/**
+ * The Table-1 RC-NVM machine fronted by a small DRAM tier (2 MB by
+ * default: 16 frames x 8 banks x 2 channels of one 8 KB far row
+ * each) under the given migration policy. The far device and every
+ * cache parameter match table1Machine(RcNvm), so hybrid results are
+ * directly comparable to the static placements.
+ */
+cpu::MachineConfig hybridTable1Machine(mem::MigrationPolicyKind policy);
+
 } // namespace rcnvm::core
 
 #endif // RCNVM_CORE_PRESETS_HH_

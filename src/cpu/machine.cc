@@ -33,8 +33,18 @@ Machine::Machine(const MachineConfig &config) : config_(config)
                    "single-threaded");
         threads = 1;
     }
-    const Tick smin =
-        timing.cyc(timing.tCAS) + timing.cyc(timing.tBURST);
+    const mem::TimingParams nearTiming =
+        config_.tier.nearTiming ? *config_.tier.nearTiming
+                                : mem::TimingParams::ddr3_1333();
+    Tick smin = timing.cyc(timing.tCAS) + timing.cyc(timing.tBURST);
+    if (config_.tier.enabled) {
+        // Both tiers' controllers share the channel shards, so the
+        // lookahead must cover the faster (near) device's minimum
+        // channel-to-core response latency too.
+        const Tick nearSmin = nearTiming.cyc(nearTiming.tCAS) +
+                              nearTiming.cyc(nearTiming.tBURST);
+        smin = std::min(smin, nearSmin);
+    }
     const Tick window{smin.value() / 2};
     if (threads > 1 && window == Tick{}) {
         util::warn("device timing gives no cross-shard lookahead; "
@@ -52,21 +62,43 @@ Machine::Machine(const MachineConfig &config) : config_(config)
     }
     memory_ = std::make_unique<mem::MemorySystem>(
         config_.device, eq_, timing, config_.salp,
-        config_.memQueueCapacity, geometry, channelQueues);
+        config_.memQueueCapacity, geometry, channelQueues,
+        config_.schedPolicy);
+    tier_ = memory_.get();
+    if (config_.tier.enabled) {
+        // The near DRAM tier inherits the far device's channel count
+        // and row shape (a frame holds exactly one far row) and runs
+        // its controllers on the same channel shard queues.
+        mem::Geometry nearGeo = geometry;
+        nearGeo.ranksPerChannel = config_.tier.nearRanksPerChannel;
+        nearGeo.banksPerRank = config_.tier.nearBanksPerRank;
+        nearGeo.subarraysPerBank = 1;
+        nearGeo.rowsPerSubarray = config_.tier.nearRowsPerBank;
+        near_ = std::make_unique<mem::MemorySystem>(
+            mem::DeviceKind::Dram, eq_, nearTiming, false,
+            config_.memQueueCapacity, nearGeo, channelQueues,
+            config_.schedPolicy);
+        hybrid_ = std::make_unique<mem::HybridMemory>(
+            *memory_, *near_, config_.tier, eq_);
+        tier_ = hybrid_.get();
+    }
     if (threads > 1) {
         engine_ = std::make_unique<sim::ParallelEngine>(
             eq_, channelQueues, threads, window);
-        memory_->attachShardLink(*engine_);
+        if (hybrid_)
+            hybrid_->attachShardLink(*engine_);
+        else
+            memory_->attachShardLink(*engine_);
     }
     hierarchy_ = std::make_unique<cache::Hierarchy>(
-        config_.hierarchy, eq_, *memory_);
+        config_.hierarchy, eq_, *tier_);
     for (unsigned c = 0; c < config_.hierarchy.cores; ++c) {
         cores_.push_back(std::make_unique<Core>(c, eq_, *hierarchy_,
                                                 config_.window));
     }
 
     hierarchy_->registerStats(registry_);
-    memory_->registerStats(registry_);
+    tier_->registerStats(registry_);
     for (std::size_t c = 0; c < cores_.size(); ++c) {
         const Core *core = cores_[c].get();
         registry_.addCounterFn("cpu.memOps", [core] {
@@ -91,7 +123,7 @@ Machine::Machine(const MachineConfig &config) : config_(config)
     if (config_.epochTicks > Tick{}) {
         sampler_ = std::make_unique<sim::EpochSampler>(eq_);
         sampler_->addGauge("mem.queued", [this] {
-            return static_cast<double>(memory_->queuedTotal());
+            return static_cast<double>(tier_->queuedTotal());
         });
         sampler_->addGauge("cache.mshrUsed", [this] {
             return static_cast<double>(hierarchy_->mshrInUse());
@@ -201,7 +233,7 @@ void
 Machine::reset()
 {
     hierarchy_->reset();
-    memory_->reset();
+    tier_->reset(); // the hybrid tier resets both devices
 }
 
 } // namespace rcnvm::cpu

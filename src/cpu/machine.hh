@@ -14,6 +14,7 @@
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
 #include "cpu/mem_op.hh"
+#include "mem/hybrid_tier.hh"
 #include "mem/memory_system.hh"
 #include "sim/epoch_sampler.hh"
 #include "sim/event_queue.hh"
@@ -33,6 +34,12 @@ struct MachineConfig {
     unsigned window = 8; //!< outstanding accesses per core
     bool salp = false;   //!< subarray-level parallelism extension
     unsigned memQueueCapacity = 32; //!< per-channel queue depth
+    /** Controller request-selection policy (FR-FCFS by default). */
+    mem::SchedPolicyKind schedPolicy = mem::SchedPolicyKind::FrFcfs;
+    /** Hybrid DRAM-fronting-NVM tier; disabled by default, in which
+     *  case the machine is the classic single-device build and every
+     *  historical golden is byte-identical. */
+    mem::HybridTierConfig tier;
     /** Memory geometry override (channel-scaling studies; defaults
      *  to the device's Table-1 preset). */
     std::optional<mem::Geometry> geometry;
@@ -150,8 +157,20 @@ class Machine
     /** Access to the hierarchy (tests and advanced callers). */
     cache::Hierarchy &hierarchy() { return *hierarchy_; }
 
-    /** Access to the memory system (tests and advanced callers). */
+    /** Access to the (far) memory system (tests and advanced
+     *  callers). In a hybrid machine this is the NVM device. */
     mem::MemorySystem &memory() { return *memory_; }
+
+    /** The memory tier the hierarchy talks to: the hybrid tier when
+     *  enabled, otherwise the far memory system itself. */
+    mem::MemoryTier &tier() { return *tier_; }
+
+    /** The hybrid tier, or nullptr when disabled. */
+    mem::HybridMemory *hybrid() { return hybrid_.get(); }
+
+    /** The near (DRAM) memory system, or nullptr when the hybrid
+     *  tier is disabled. */
+    mem::MemorySystem *nearMemory() { return near_.get(); }
 
     /** The sharded engine, or nullptr in single-queue mode (tests
      *  and benchmarks inspect worker counts and round statistics). */
@@ -174,6 +193,12 @@ class Machine
     /** Per-channel shard queues (empty in single-queue mode). */
     std::vector<std::unique_ptr<sim::EventQueue>> channelQueues_;
     std::unique_ptr<mem::MemorySystem> memory_;
+    /** Near DRAM tier and its composition (hybrid machines only). */
+    std::unique_ptr<mem::MemorySystem> near_;
+    std::unique_ptr<mem::HybridMemory> hybrid_;
+    /** The tier the hierarchy was built against (hybrid_ or
+     *  memory_); never null after construction. */
+    mem::MemoryTier *tier_ = nullptr;
     std::unique_ptr<cache::Hierarchy> hierarchy_;
     std::vector<std::unique_ptr<Core>> cores_;
     /** Holds pointers into the components above; members are

@@ -17,10 +17,12 @@ ChannelController::ChannelController(const AddressMap &map,
                                      const TimingParams &timing,
                                      sim::EventQueue &eq,
                                      unsigned queue_capacity,
-                                     bool salp, unsigned channel_id)
+                                     bool salp, unsigned channel_id,
+                                     SchedPolicyKind sched)
     : map_(map),
       timing_(timing),
       eq_(eq),
+      policy_(makeSchedulerPolicy(sched)),
       capacity_(queue_capacity),
       channelId_(channel_id),
       statsSince_(eq.now())
@@ -247,13 +249,11 @@ ChannelController::trySchedule()
 
         const Tick now = eq_.now();
 
-        // One pass over the banks that have work: find the oldest
-        // ready buffer hit, the oldest ready request, the globally
-        // oldest request (for starvation control), and the earliest
-        // tick anything becomes ready.
-        std::uint64_t bestHitSeq = noSeq, bestAnySeq = noSeq;
-        unsigned bestHitBank = 0, bestAnyBank = 0;
-        std::size_t bestHitPos = 0;
+        // One pass over the banks that have work: offer every ready
+        // candidate to the selection policy while tracking the
+        // globally oldest request (for starvation control) and the
+        // earliest tick anything becomes ready.
+        policy_->begin();
         std::uint64_t headSeq = noSeq;
         Pending *head = nullptr;
         Tick headReadyAt = noTick;
@@ -285,15 +285,7 @@ ChannelController::trySchedule()
                 headReadyAt = readyAt;
             }
             if (readyAt <= now) {
-                if (front.seq < bestAnySeq) {
-                    bestAnySeq = front.seq;
-                    bestAnyBank = b;
-                }
-                if (la.hit && front.seq < bestHitSeq) {
-                    bestHitSeq = front.seq;
-                    bestHitBank = b;
-                    bestHitPos = 0;
-                }
+                policy_->offer({b, 0, front.seq, la.hit});
             } else if (readyAt < nextWake) {
                 nextWake = readyAt;
             }
@@ -305,12 +297,9 @@ ChannelController::trySchedule()
                     std::max(bank.nextReady(),
                              busReadyAt(timing_.cyc(timing_.tCAS)));
                 if (hitReady <= now) {
-                    if (h.seq < bestHitSeq) {
-                        bestHitSeq = h.seq;
-                        bestHitBank = b;
-                        bestHitPos =
-                            static_cast<std::size_t>(bq.hitPos);
-                    }
+                    policy_->offer(
+                        {b, static_cast<std::size_t>(bq.hitPos),
+                         h.seq, true});
                 } else if (hitReady < nextWake) {
                     nextWake = hitReady;
                 }
@@ -330,26 +319,16 @@ ChannelController::trySchedule()
             return;
         }
 
-        unsigned pickBank;
-        std::size_t pickPos;
-        std::uint64_t pickSeq;
-        if (bestHitSeq != noSeq) {
-            pickBank = bestHitBank;
-            pickPos = bestHitPos;
-            pickSeq = bestHitSeq;
-        } else if (bestAnySeq != noSeq) {
-            pickBank = bestAnyBank;
-            pickPos = 0;
-            pickSeq = bestAnySeq;
-        } else {
+        SchedCandidate pick;
+        if (!policy_->choose(pick)) {
             if (nextWake != noTick)
                 scheduleWakeup(nextWake);
             return;
         }
 
-        if (pickSeq != headSeq)
+        if (pick.seq != headSeq)
             ++head->bypassed;
-        issueFrom(pickBank, pickPos);
+        issueFrom(pick.bank, pick.pos);
     }
 }
 

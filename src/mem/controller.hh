@@ -12,12 +12,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mem/bank.hh"
 #include "mem/geometry.hh"
 #include "mem/request.hh"
+#include "mem/sched_policy.hh"
 #include "mem/timing.hh"
 #include "sim/event_queue.hh"
 #include "util/stats.hh"
@@ -58,14 +60,15 @@ struct ControllerStats {
  * One channel: per-bank request queues, the channel's banks, and the
  * shared data bus. Requests complete asynchronously via callbacks.
  *
- * FR-FCFS: the oldest request that hits an open buffer on a ready
- * bank is served first; otherwise the oldest ready request. A
+ * Selection is delegated to a pluggable SchedulerPolicy (FR-FCFS by
+ * default: the oldest request that hits an open buffer on a ready
+ * bank is served first; otherwise the oldest ready request). A
  * request is ready only when its bank can start the command AND the
  * shared bus will be free by the time its data burst begins, so bus
  * slots are granted in scheduling order rather than being committed
  * queue-deep in advance (gathered GS-DRAM lines occupy two slots). A
  * starvation cap bounds how many times the globally oldest request
- * may be bypassed by any younger request.
+ * may be bypassed by any younger request, independent of policy.
  */
 class ChannelController
 {
@@ -78,10 +81,15 @@ class ChannelController
      * @param salp     give each subarray its own buffer pair
      *                 (subarray-level-parallelism extension)
      * @param channel_id  channel number (trace-event attribution)
+     * @param sched    request-selection policy (default FR-FCFS)
      */
     ChannelController(const AddressMap &map, const TimingParams &timing,
                       sim::EventQueue &eq, unsigned queue_capacity = 32,
-                      bool salp = false, unsigned channel_id = 0);
+                      bool salp = false, unsigned channel_id = 0,
+                      SchedPolicyKind sched = SchedPolicyKind::FrFcfs);
+
+    /** The request-selection policy in use. */
+    const SchedulerPolicy &policy() const { return *policy_; }
 
     /** True when the request queue has room. */
     bool canAccept() const { return totalQueued_ < capacity_; }
@@ -196,6 +204,9 @@ class ChannelController
     const AddressMap &map_;
     TimingParams timing_;
     sim::EventQueue &eq_;
+    /** Selection policy; owned per controller so channel shards
+     *  never share policy state. */
+    std::unique_ptr<SchedulerPolicy> policy_;
     unsigned capacity_;
     unsigned channelId_;
     std::vector<Bank> banks_;

@@ -1,0 +1,578 @@
+#include "mem/hybrid_tier.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rcnvm::mem {
+
+namespace {
+
+/**
+ * RBLA (Yoon et al.): promote rows whose far accesses keep missing
+ * the row buffer — those pay the NVM activate latency repeatedly and
+ * benefit most from DRAM residence. Rows that hit stay in NVM, where
+ * buffer hits already cost DRAM-like latency. Victim rank follows
+ * the same benefit estimate: evict the row gaining least.
+ */
+class RblaPolicy final : public MigrationPolicy
+{
+  public:
+    RblaPolicy(double miss_threshold, double hot_threshold)
+        : missThreshold_(miss_threshold), hotThreshold_(hot_threshold)
+    {
+    }
+
+    const char *name() const override { return "rbla"; }
+
+    bool promote(const RowLocality &row) const override
+    {
+        return row.ewmaMiss >= missThreshold_ &&
+               row.rowTouches >= hotThreshold_;
+    }
+
+    bool demoteOnColumn(const RowLocality &) const override
+    {
+        return false;
+    }
+
+    double victimScore(const RowLocality &row,
+                       const TierFrame &frame) const override
+    {
+        return static_cast<double>(row.ewmaMiss) * frame.touches;
+    }
+
+  private:
+    double missThreshold_;
+    double hotThreshold_;
+};
+
+/** Hot-page: promote on access count alone (locality-blind; the
+ *  classic baseline RBLA was proposed against). */
+class HotPagePolicy final : public MigrationPolicy
+{
+  public:
+    explicit HotPagePolicy(double hot_threshold)
+        : hotThreshold_(hot_threshold)
+    {
+    }
+
+    const char *name() const override { return "hotpage"; }
+
+    bool promote(const RowLocality &row) const override
+    {
+        return row.rowTouches >= hotThreshold_;
+    }
+
+    bool demoteOnColumn(const RowLocality &) const override
+    {
+        return false;
+    }
+
+    double victimScore(const RowLocality &,
+                       const TierFrame &frame) const override
+    {
+        return frame.touches;
+    }
+
+  private:
+    double hotThreshold_;
+};
+
+/**
+ * Orientation-aware: hot-page promotion gated by column usage. A row
+ * the OLAP side scans column-wise must stay in RC-NVM — its column
+ * segments are only addressable there, and promoting it turns every
+ * overlapping column access into a coherence write-back. Column
+ * pressure discovered after promotion demotes the row.
+ */
+class OrientationPolicy final : public MigrationPolicy
+{
+  public:
+    OrientationPolicy(double hot_threshold, double orient_veto)
+        : hotThreshold_(hot_threshold), orientVeto_(orient_veto)
+    {
+    }
+
+    const char *name() const override { return "orientation"; }
+
+    bool promote(const RowLocality &row) const override
+    {
+        return row.rowTouches >= hotThreshold_ &&
+               row.colTouches <=
+                   orientVeto_ * static_cast<double>(row.rowTouches);
+    }
+
+    bool demoteOnColumn(const RowLocality &row) const override
+    {
+        return row.colTouches >
+               orientVeto_ * static_cast<double>(row.rowTouches);
+    }
+
+    double victimScore(const RowLocality &row,
+                       const TierFrame &frame) const override
+    {
+        // Column-touched rows rank first for eviction.
+        return frame.touches -
+               static_cast<double>(row.colTouches) * hotThreshold_;
+    }
+
+  private:
+    double hotThreshold_;
+    double orientVeto_;
+};
+
+} // namespace
+
+const char *
+toString(MigrationPolicyKind kind)
+{
+    switch (kind) {
+      case MigrationPolicyKind::Rbla:
+        return "rbla";
+      case MigrationPolicyKind::HotPage:
+        return "hotpage";
+      case MigrationPolicyKind::Orientation:
+        return "orientation";
+    }
+    rcnvm_panic("unknown migration policy kind");
+}
+
+std::unique_ptr<MigrationPolicy>
+makeMigrationPolicy(const HybridTierConfig &cfg)
+{
+    switch (cfg.policy) {
+      case MigrationPolicyKind::Rbla:
+        return std::make_unique<RblaPolicy>(cfg.missThreshold,
+                                            cfg.hotThreshold);
+      case MigrationPolicyKind::HotPage:
+        return std::make_unique<HotPagePolicy>(cfg.hotThreshold);
+      case MigrationPolicyKind::Orientation:
+        return std::make_unique<OrientationPolicy>(cfg.hotThreshold,
+                                                   cfg.orientVeto);
+    }
+    rcnvm_panic("unknown migration policy kind");
+}
+
+HybridMemory::HybridMemory(MemorySystem &far, MemorySystem &near,
+                           const HybridTierConfig &config,
+                           sim::EventQueue &eq)
+    : far_(far),
+      near_(near),
+      cfg_(config),
+      eq_(eq),
+      policy_(makeMigrationPolicy(config)),
+      remap_(far.map().geometry(), near.map().geometry()),
+      tracker_(far.map().geometry(), config.ewmaAlpha,
+               config.decayPeriod),
+      frames_(remap_.frames()),
+      inflight_(far.channels(), 0)
+{
+    if (near_.caps().columnAccess)
+        rcnvm_panic("hybrid tier: the near tier is row-oriented by "
+                    "construction; use a DRAM device");
+}
+
+void
+HybridMemory::attachShardLink(sim::ParallelEngine &engine)
+{
+    far_.attachShardLink(engine);
+    near_.attachShardLink(engine);
+}
+
+bool
+HybridMemory::canAccept(Addr addr, Orientation orient) const
+{
+    if (orient == Orientation::Row) {
+        const DecodedAddr d = far_.map().decode(addr, orient);
+        const std::uint64_t row = remap_.rowId(d);
+        if (routeRowNear(row)) {
+            const Addr na =
+                near_.map().encode(remap_.toNear(d), orient);
+            return near_.canAccept(na, orient);
+        }
+    }
+    return far_.canAccept(addr, orient);
+}
+
+unsigned
+HybridMemory::channelOf(Addr addr, Orientation orient) const
+{
+    // Migrations are channel-local, so near and far agree.
+    return far_.channelOf(addr, orient);
+}
+
+void
+HybridMemory::issue(MemRequest &&req)
+{
+    if (req.orient == Orientation::Row) {
+        const DecodedAddr d = far_.map().decode(req.addr, req.orient);
+        const std::uint64_t row = remap_.rowId(d);
+        if (routeRowNear(row)) {
+            req.addr = near_.map().encode(remap_.toNear(d), req.orient);
+            touchNear(row, req.isWrite);
+            near_.issue(std::move(req));
+            return;
+        }
+        far_.issue(std::move(req));
+        onFarRowAccess(row);
+        return;
+    }
+    const DecodedAddr d = far_.map().decode(req.addr, req.orient);
+    far_.issue(std::move(req));
+    onColumnAccess(d);
+}
+
+bool
+HybridMemory::tryIssue(MemPacket &pkt)
+{
+    if (pkt.orient == Orientation::Row) {
+        const DecodedAddr d = far_.map().decode(pkt.addr, pkt.orient);
+        const std::uint64_t row = remap_.rowId(d);
+        if (routeRowNear(row)) {
+            const Addr farAddr = pkt.addr;
+            pkt.addr = near_.map().encode(remap_.toNear(d), pkt.orient);
+            if (!near_.tryIssue(pkt)) {
+                pkt.addr = farAddr; // refused: hand back untouched
+                return false;
+            }
+            touchNear(row, pkt.isWrite);
+            return true;
+        }
+        if (!far_.tryIssue(pkt))
+            return false;
+        onFarRowAccess(row);
+        return true;
+    }
+    const DecodedAddr d = far_.map().decode(pkt.addr, pkt.orient);
+    if (!far_.tryIssue(pkt))
+        return false;
+    onColumnAccess(d);
+    return true;
+}
+
+void
+HybridMemory::setRetryCallback(std::function<void()> cb)
+{
+    // Both devices share the client's one hook; a refused client
+    // re-probes canAccept() per packet, so spare wakeups from the
+    // other tier are harmless (same contract as multi-channel).
+    far_.setRetryCallback(cb);
+    near_.setRetryCallback(std::move(cb));
+}
+
+void
+HybridMemory::touchNear(std::uint64_t row_id, bool is_write)
+{
+    rowAccesses_.inc();
+    nearHits_.inc();
+    TierFrame &f =
+        frames_[static_cast<std::uint32_t>(remap_.frameOf(row_id))];
+    f.touches += 1.0;
+    f.lastTouch = eq_.now();
+    f.dirty = f.dirty || is_write;
+}
+
+void
+HybridMemory::onFarRowAccess(std::uint64_t row_id)
+{
+    rowAccesses_.inc();
+    tracker_.recordRow(row_id, eq_.now());
+    if (migrationPending(row_id))
+        return;
+    if (policy_->promote(tracker_.sample(row_id, eq_.now())))
+        startPromotion(row_id);
+}
+
+void
+HybridMemory::onColumnAccess(const DecodedAddr &d)
+{
+    colAccesses_.inc();
+    // A 64-byte column-oriented line crosses 8 consecutive far rows
+    // (one word from each) at the same column index.
+    const unsigned wordsPerLine = 64 / far_.map().geometry().wordBytes;
+    const unsigned base = d.row & ~(wordsPerLine - 1);
+    for (unsigned i = 0; i < wordsPerLine; ++i) {
+        DecodedAddr rd = d;
+        rd.row = base + i;
+        rd.offset = 0;
+        const std::uint64_t row = remap_.rowId(rd);
+        tracker_.recordColumn(row, eq_.now());
+        const std::int64_t frameIdx = remap_.frameOf(row);
+        if (frameIdx < 0)
+            continue;
+        colNearOverlaps_.inc();
+        TierFrame &f = frames_[static_cast<std::uint32_t>(frameIdx)];
+        if (f.dirty) {
+            // The far copy of this row is stale where the near copy
+            // was written; push the overlapped line segment back so
+            // the column reader observes current data.
+            rd.col = d.col & ~(wordsPerLine - 1);
+            MemPacket wb;
+            wb.setAddr(far_.map().encodeRow(rd));
+            wb.isWrite = true;
+            far_.issue(std::move(wb));
+            f.dirty = false;
+            colDirtyForces_.inc();
+        }
+        if (!f.busy && !migrationPending(row) &&
+            policy_->demoteOnColumn(tracker_.sample(row, eq_.now())))
+            startDemotion(static_cast<std::uint32_t>(frameIdx));
+    }
+}
+
+bool
+HybridMemory::migrationPending(std::uint64_t row_id) const
+{
+    for (const Migration &m : inflightMigs_) {
+        if (m.promoteRow == static_cast<std::int64_t>(row_id) ||
+            m.victimRow == static_cast<std::int64_t>(row_id))
+            return true;
+    }
+    return false;
+}
+
+void
+HybridMemory::copyTraffic(const DecodedAddr &src_row, bool src_near,
+                          const DecodedAddr &dst_row, bool dst_near)
+{
+    // A row copy is modelled as a sparse burst over the row: the
+    // configured number of read+write line pairs, spread across the
+    // row's columns so the traffic exercises the bus like a DMA
+    // engine would, without the full 128-line cost (the remainder is
+    // folded into migrationLatency).
+    const Geometry &g = far_.map().geometry();
+    const unsigned lines = std::max(1u, cfg_.migrationBurstLines);
+    const unsigned wordsPerLine = 64 / g.wordBytes;
+    const unsigned stride =
+        std::max(wordsPerLine, g.colsPerSubarray / lines);
+    for (unsigned l = 0; l < lines; ++l) {
+        const unsigned col = (l * stride) % g.colsPerSubarray &
+                             ~(wordsPerLine - 1);
+        DecodedAddr s = src_row;
+        s.col = col;
+        MemPacket rd;
+        rd.setAddr((src_near ? near_ : far_).map().encodeRow(s));
+        (src_near ? near_ : far_).issue(std::move(rd));
+
+        DecodedAddr t = dst_row;
+        t.col = col;
+        MemPacket wr;
+        wr.setAddr((dst_near ? near_ : far_).map().encodeRow(t));
+        wr.isWrite = true;
+        (dst_near ? near_ : far_).issue(std::move(wr));
+    }
+}
+
+void
+HybridMemory::startPromotion(std::uint64_t row_id)
+{
+    const unsigned ch = remap_.rowChannel(row_id);
+    if (inflight_[ch] >= cfg_.maxInflightPerChannel) {
+        deferred_.inc();
+        return;
+    }
+
+    // A free frame in this channel, or the lowest-ranked victim.
+    const std::uint32_t lo = ch * remap_.framesPerChannel();
+    const std::uint32_t hi = lo + remap_.framesPerChannel();
+    std::int64_t freeFrame = -1, victimFrame = -1;
+    double victimBest = 0;
+    for (std::uint32_t f = lo; f < hi; ++f) {
+        const TierFrame &fr = frames_[f];
+        if (fr.busy)
+            continue;
+        if (!fr.valid) {
+            freeFrame = f;
+            break;
+        }
+        const double score = policy_->victimScore(
+            tracker_.sample(fr.rowId, eq_.now()), fr);
+        if (victimFrame < 0 || score < victimBest) {
+            victimFrame = f;
+            victimBest = score;
+        }
+    }
+
+    Migration m;
+    m.promoteRow = static_cast<std::int64_t>(row_id);
+    m.channel = ch;
+    m.gen = resetGen_;
+    if (freeFrame >= 0) {
+        m.frame = static_cast<std::uint32_t>(freeFrame);
+    } else if (victimFrame >= 0) {
+        m.frame = static_cast<std::uint32_t>(victimFrame);
+        TierFrame &vf = frames_[m.frame];
+        m.victimRow = static_cast<std::int64_t>(vf.rowId);
+        if (vf.dirty) {
+            // Copy the displaced row's data home before reuse.
+            copyTraffic(remap_.frameLocation(m.frame), true,
+                        farRowLocation(
+                            static_cast<std::uint64_t>(m.victimRow)),
+                        false);
+            dirtyWritebacks_.inc();
+        }
+    } else {
+        deferred_.inc();
+        return;
+    }
+
+    TierFrame &f = frames_[m.frame];
+    f.busy = true;
+    ++inflight_[ch];
+    inflightMigs_.push_back(m);
+
+    // Fill traffic: read the promoted row far, write it near.
+    copyTraffic(farRowLocation(row_id), false,
+                remap_.frameLocation(m.frame), true);
+
+    eq_.schedule(eq_.now() + cfg_.migrationLatency,
+                 [this, m] { commit(m); });
+}
+
+void
+HybridMemory::startDemotion(std::uint32_t frame)
+{
+    TierFrame &f = frames_[frame];
+    const unsigned ch = frame / remap_.framesPerChannel();
+    if (inflight_[ch] >= cfg_.maxInflightPerChannel) {
+        deferred_.inc();
+        return;
+    }
+
+    Migration m;
+    m.victimRow = static_cast<std::int64_t>(f.rowId);
+    m.frame = frame;
+    m.channel = ch;
+    m.gen = resetGen_;
+
+    if (f.dirty) {
+        copyTraffic(remap_.frameLocation(frame), true,
+                    farRowLocation(f.rowId), false);
+        dirtyWritebacks_.inc();
+    }
+    f.busy = true;
+    ++inflight_[ch];
+    inflightMigs_.push_back(m);
+
+    eq_.schedule(eq_.now() + cfg_.migrationLatency,
+                 [this, m] { commit(m); });
+}
+
+void
+HybridMemory::commit(const Migration &m)
+{
+    if (m.gen != resetGen_)
+        return; // the run was reset while this migration flew
+
+    TierFrame &f = frames_[m.frame];
+    if (m.victimRow >= 0) {
+        remap_.unmap(static_cast<std::uint64_t>(m.victimRow));
+        demotions_.inc();
+        f.valid = false;
+    }
+    if (m.promoteRow >= 0) {
+        remap_.map(static_cast<std::uint64_t>(m.promoteRow), m.frame);
+        f.valid = true;
+        f.dirty = false;
+        f.rowId = static_cast<std::uint64_t>(m.promoteRow);
+        f.touches = 0;
+        f.lastTouch = eq_.now();
+        promotions_.inc();
+    }
+    f.busy = false;
+    --inflight_[m.channel];
+    for (std::size_t i = 0; i < inflightMigs_.size(); ++i) {
+        if (inflightMigs_[i].frame == m.frame &&
+            inflightMigs_[i].gen == m.gen) {
+            inflightMigs_.erase(inflightMigs_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+}
+
+DecodedAddr
+HybridMemory::farRowLocation(std::uint64_t row_id) const
+{
+    const Geometry &g = far_.map().geometry();
+    DecodedAddr d;
+    d.row = static_cast<unsigned>(row_id % g.rowsPerSubarray);
+    row_id /= g.rowsPerSubarray;
+    d.subarray = static_cast<unsigned>(row_id % g.subarraysPerBank);
+    row_id /= g.subarraysPerBank;
+    d.bank = static_cast<unsigned>(row_id % g.banksPerRank);
+    row_id /= g.banksPerRank;
+    d.rank = static_cast<unsigned>(row_id % g.ranksPerChannel);
+    d.channel = static_cast<unsigned>(row_id / g.ranksPerChannel);
+    return d;
+}
+
+void
+HybridMemory::registerStats(util::StatRegistry &r) const
+{
+    // The far device owns the mem.* namespace: in a hybrid machine
+    // mem.* therefore reports far (NVM) traffic only, and the near
+    // tier's device counters appear under tier.near.*.
+    far_.registerStats(r);
+
+    r.addCounter("tier.rowAccesses", rowAccesses_);
+    r.addCounter("tier.nearHits", nearHits_);
+    r.addCounter("tier.colAccesses", colAccesses_);
+    r.addCounter("tier.colNearOverlaps", colNearOverlaps_);
+    r.addCounter("tier.colDirtyForces", colDirtyForces_);
+    r.addCounter("tier.promotions", promotions_);
+    r.addCounter("tier.demotions", demotions_);
+    r.addCounter("tier.dirtyWritebacks", dirtyWritebacks_);
+    r.addCounter("tier.migrationsDeferred", deferred_);
+    r.addGauge("tier.remapOccupancy", [this] {
+        return static_cast<double>(remap_.mappedRows());
+    });
+    r.addGauge("tier.remapFrames", [this] {
+        return static_cast<double>(remap_.frames());
+    });
+    r.addFormula("tier.nearHitRate", [](const util::StatRegistry &g) {
+        const double total = g.counter("tier.rowAccesses");
+        return total > 0 ? g.counter("tier.nearHits") / total : 0.0;
+    });
+
+    r.addCounterFn("tier.near.reads", [this] {
+        return near_.stats().get("mem.reads");
+    });
+    r.addCounterFn("tier.near.writes", [this] {
+        return near_.stats().get("mem.writes");
+    });
+    r.addCounterFn("tier.near.bufferHits", [this] {
+        return near_.stats().get("mem.bufferHits");
+    });
+    r.addCounterFn("tier.near.bufferMisses", [this] {
+        return near_.stats().get("mem.bufferMisses");
+    });
+    r.addCounterFn("tier.near.energyPJ", [this] {
+        return near_.stats().get("mem.energyPJ");
+    });
+}
+
+void
+HybridMemory::reset()
+{
+    far_.reset();
+    near_.reset();
+    remap_.reset();
+    tracker_.reset();
+    frames_.assign(frames_.size(), TierFrame{});
+    std::fill(inflight_.begin(), inflight_.end(), 0u);
+    inflightMigs_.clear();
+    ++resetGen_;
+    rowAccesses_.reset();
+    nearHits_.reset();
+    colAccesses_.reset();
+    colNearOverlaps_.reset();
+    colDirtyForces_.reset();
+    promotions_.reset();
+    demotions_.reset();
+    dirtyWritebacks_.reset();
+    deferred_.reset();
+}
+
+} // namespace rcnvm::mem

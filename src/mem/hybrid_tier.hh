@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The hybrid DRAM + RC-NVM memory tier: a small DRAM MemorySystem
+ * fronts the far NVM device behind the MemoryTier interface, with a
+ * row-granularity remap table and a pluggable migration policy.
+ *
+ * Clients keep addressing the far device; routing is transparent.
+ * Row-oriented accesses to a mapped row are redirected to its DRAM
+ * frame; column-oriented accesses always execute in the far device
+ * (only RC-NVM can serve them). A column access overlapping a dirty
+ * mapped row first forces a write-back of the stale far segment so
+ * column readers never observe pre-migration data.
+ *
+ * All tier state (remap table, tracker, frames) lives on the core
+ * shard and is only touched from issue paths and core-shard events,
+ * so the channel-sharded engine needs no extra synchronisation:
+ * migration commits are core-shard events, and migration copy
+ * traffic reaches the channels through the same window-boundary
+ * mailboxes as demand traffic (THREADS=1 and THREADS=4 stay
+ * stats-identical).
+ */
+
+#ifndef RCNVM_MEM_HYBRID_TIER_HH_
+#define RCNVM_MEM_HYBRID_TIER_HH_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "mem/tier.hh"
+#include "util/stats.hh"
+
+namespace rcnvm::mem {
+
+/** Which migration policy a hybrid tier should construct. */
+enum class MigrationPolicyKind {
+    Rbla,        //!< row-buffer-locality-aware (Yoon et al.)
+    HotPage,     //!< access-count threshold, locality-blind
+    Orientation, //!< hot-page plus a column-usage veto: a row that
+                 //!< is scanned column-wise stays in RC-NVM
+};
+
+/** Stable lowercase name ("rbla", "hotpage", "orientation"). */
+const char *toString(MigrationPolicyKind kind);
+
+/** One resident near-tier frame. */
+struct TierFrame {
+    bool valid = false;  //!< holds a committed mapping
+    bool busy = false;   //!< a migration in flight targets it
+    bool dirty = false;  //!< written since promotion
+    std::uint64_t rowId = 0; //!< resident far row (valid frames)
+    Tick lastTouch{0};
+    double touches = 0;  //!< accesses while resident
+};
+
+/**
+ * A migration policy: decides promotion on far-access locality,
+ * demotion on column pressure, and victim ranking under capacity.
+ * Stateless beyond its thresholds, so decisions are a pure function
+ * of the tracker/frame inputs (deterministic across shard counts).
+ */
+class MigrationPolicy
+{
+  public:
+    virtual ~MigrationPolicy() = default;
+
+    /** Stable policy name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Promote this far-resident row into the DRAM tier now? */
+    virtual bool promote(const RowLocality &row) const = 0;
+
+    /** Demote this near-resident row on a column-oriented touch? */
+    virtual bool demoteOnColumn(const RowLocality &row) const = 0;
+
+    /** Eviction rank of a resident frame: the lowest score is the
+     *  victim when the tier is full. */
+    virtual double victimScore(const RowLocality &row,
+                               const TierFrame &frame) const = 0;
+};
+
+/** Tier configuration carried by cpu::MachineConfig. */
+struct HybridTierConfig {
+    bool enabled = false;
+    MigrationPolicyKind policy = MigrationPolicyKind::Rbla;
+
+    // Near-tier shape. The DRAM tier inherits the far device's
+    // channel count, row width, and word size (a frame holds exactly
+    // one far row); these knobs set its capacity and parallelism.
+    unsigned nearRanksPerChannel = 1;
+    unsigned nearBanksPerRank = 8;
+    unsigned nearRowsPerBank = 16; //!< frames per near bank
+    /** Near-tier timing; defaults to the Table-1 DDR3-1333 preset. */
+    std::optional<TimingParams> nearTiming;
+
+    // Policy thresholds.
+    double ewmaAlpha = 0.25;    //!< row-buffer miss EWMA gain
+    double missThreshold = 0.4; //!< RBLA: promote above this EWMA
+    double hotThreshold = 6.0;  //!< touches counting a row as hot
+    double orientVeto = 1.0;    //!< col/row touch ratio vetoing
+                                //!< promotion (orientation policy)
+    Tick decayPeriod{1'000'000}; //!< touch-count halving period
+
+    // Migration mechanics.
+    Tick migrationLatency{200'000}; //!< issue-to-commit delay
+    unsigned migrationBurstLines = 4; //!< copy-traffic lines per
+                                      //!< direction (of 128 per row)
+    unsigned maxInflightPerChannel = 4;
+};
+
+/**
+ * The composed tier. Owns no devices: the far and near MemorySystems
+ * are built (and their shard links attached) by the machine so their
+ * controllers share the machine's channel shard queues.
+ */
+class HybridMemory : public MemoryTier
+{
+  public:
+    HybridMemory(MemorySystem &far, MemorySystem &near,
+                 const HybridTierConfig &config, sim::EventQueue &eq);
+
+    /** Wire both devices to the sharded engine. */
+    void attachShardLink(sim::ParallelEngine &engine);
+
+    /** The migration policy in use. */
+    const MigrationPolicy &policy() const { return *policy_; }
+
+    /** The remap table (tests and reports). */
+    const RemapTable &remap() const { return remap_; }
+
+    /** The locality tracker (tests). */
+    const RowLocalityTracker &tracker() const { return tracker_; }
+
+    // MemoryTier -----------------------------------------------------
+    const DeviceCaps &caps() const override { return far_.caps(); }
+    const AddressMap &map() const override { return far_.map(); }
+    bool canAccept(Addr addr, Orientation orient) const override;
+    unsigned channelOf(Addr addr, Orientation orient) const override;
+    unsigned channels() const override { return far_.channels(); }
+    void issue(MemRequest &&req) override;
+    [[nodiscard]] bool tryIssue(MemPacket &pkt) override;
+    void setRetryCallback(std::function<void()> cb) override;
+    void registerStats(util::StatRegistry &r) const override;
+    std::size_t queuedTotal() const override
+    {
+        return far_.queuedTotal() + near_.queuedTotal();
+    }
+    void reset() override;
+
+  private:
+    /** An in-flight migration (promotion, optionally displacing a
+     *  victim; or a pure demotion when promoteRow is absent). */
+    struct Migration {
+        std::int64_t promoteRow = -1; //!< far row being promoted
+        std::int64_t victimRow = -1;  //!< resident row displaced
+        std::uint32_t frame = 0;
+        unsigned channel = 0;
+        std::uint64_t gen = 0; //!< reset() invalidation stamp
+    };
+
+    /** Route decision for one row-oriented packet. */
+    bool routeRowNear(std::uint64_t row_id) const
+    {
+        return remap_.frameOf(row_id) >= 0;
+    }
+
+    /** Post-acceptance bookkeeping of a near-routed row access. */
+    void touchNear(std::uint64_t row_id, bool is_write);
+
+    /** Post-acceptance bookkeeping of a far row access: tracker
+     *  update plus a possible promotion start. */
+    void onFarRowAccess(std::uint64_t row_id);
+
+    /** Post-acceptance bookkeeping of a column access: tracker and
+     *  dirty-overlap handling for each far row the line crosses. */
+    void onColumnAccess(const DecodedAddr &d);
+
+    /** True when @p row_id is the subject of an in-flight migration
+     *  (as promotee or victim). */
+    bool migrationPending(std::uint64_t row_id) const;
+
+    /** Begin promoting @p row_id; picks a free frame or a victim. */
+    void startPromotion(std::uint64_t row_id);
+
+    /** Begin demoting the resident row of @p frame (column veto). */
+    void startDemotion(std::uint32_t frame);
+
+    /** Fire-and-forget copy traffic for one row, spread over the
+     *  row's columns: reads from the source, writes to the dest. */
+    void copyTraffic(const DecodedAddr &src_row, bool src_near,
+                     const DecodedAddr &dst_row, bool dst_near);
+
+    /** Commit @p m: apply the remap flips and release the frame. */
+    void commit(const Migration &m);
+
+    /** Far-device location of row @p row_id (column 0). */
+    DecodedAddr farRowLocation(std::uint64_t row_id) const;
+
+    MemorySystem &far_;
+    MemorySystem &near_;
+    HybridTierConfig cfg_;
+    sim::EventQueue &eq_;
+    std::unique_ptr<MigrationPolicy> policy_;
+    RemapTable remap_;
+    RowLocalityTracker tracker_;
+    std::vector<TierFrame> frames_;
+    std::vector<unsigned> inflight_; //!< migrations per channel
+    std::vector<Migration> inflightMigs_;
+    std::uint64_t resetGen_ = 0;
+
+    // Statistics (tier.* namespace).
+    util::Counter rowAccesses_;   //!< row packets routed by the tier
+    util::Counter nearHits_;      //!< row packets served near
+    util::Counter colAccesses_;   //!< column packets (always far)
+    util::Counter colNearOverlaps_; //!< column lines crossing a
+                                    //!< mapped row
+    util::Counter colDirtyForces_;  //!< stale-segment write-backs
+                                    //!< forced by column access
+    util::Counter promotions_;
+    util::Counter demotions_;     //!< policy demotions + evictions
+    util::Counter dirtyWritebacks_; //!< demote-time copy-backs
+    util::Counter deferred_;      //!< migrations skipped (in-flight
+                                  //!< cap or no eligible frame)
+};
+
+/** Construct the migration-policy object for @p cfg. */
+std::unique_ptr<MigrationPolicy>
+makeMigrationPolicy(const HybridTierConfig &cfg);
+
+} // namespace rcnvm::mem
+
+#endif // RCNVM_MEM_HYBRID_TIER_HH_

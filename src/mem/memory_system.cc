@@ -38,7 +38,8 @@ MemorySystem::MemorySystem(DeviceKind kind, sim::EventQueue &eq,
 MemorySystem::MemorySystem(
     DeviceKind kind, sim::EventQueue &eq, const TimingParams &timing,
     bool salp, unsigned queue_capacity, const Geometry &geometry,
-    const std::vector<sim::EventQueue *> &channel_queues)
+    const std::vector<sim::EventQueue *> &channel_queues,
+    SchedPolicyKind sched)
     : kind_(kind),
       caps_(capsFor(kind)),
       map_(geometry),
@@ -53,7 +54,7 @@ MemorySystem::MemorySystem(
         sim::EventQueue &cq =
             channel_queues.empty() ? eq_ : *channel_queues[c];
         channels_.push_back(std::make_unique<ChannelController>(
-            map_, timing, cq, queue_capacity, salp, c));
+            map_, timing, cq, queue_capacity, salp, c, sched));
     }
     if (!channel_queues.empty()) {
         sharded_ = true;
@@ -70,7 +71,7 @@ MemorySystem::attachShardLink(sim::ParallelEngine &engine)
     engine_ = &engine;
     for (unsigned c = 0; c < channels(); ++c)
         channels_[c]->setCompletionPort(&engine.toCore(c));
-    engine.setExchangeHook(
+    engine.addExchangeHook(
         [this](Tick next) { shardExchange(next); });
 }
 

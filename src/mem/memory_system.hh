@@ -26,11 +26,60 @@ class ParallelEngine;
 namespace rcnvm::mem {
 
 /**
+ * The abstract memory tier the cache hierarchy (and any other
+ * memory-side client) programs against. A tier is anything that can
+ * accept line packets and complete them asynchronously: a single
+ * device (MemorySystem) or a composition such as the hybrid
+ * DRAM-fronting-RC-NVM tier (HybridMemory). The interface is exactly
+ * the surface the hierarchy already consumed, so single-tier
+ * machines pay only a devirtualisable indirection.
+ */
+class MemoryTier
+{
+  public:
+    virtual ~MemoryTier() = default;
+
+    /** Capability set (column access, gather) of the tier as the
+     *  client sees it (for a hybrid tier: the backing device's). */
+    virtual const DeviceCaps &caps() const = 0;
+
+    /** The address map client addresses are expressed in. */
+    virtual const AddressMap &map() const = 0;
+
+    /** True when a request can be queued right now. */
+    virtual bool canAccept(Addr addr, Orientation orient) const = 0;
+
+    /** Channel a packet to this address/orientation would use. */
+    virtual unsigned channelOf(Addr addr, Orientation orient) const = 0;
+
+    /** Number of channels (for per-channel client bookkeeping). */
+    virtual unsigned channels() const = 0;
+
+    /** Queue a request unconditionally (write-back overshoot). */
+    virtual void issue(MemRequest &&req) = 0;
+
+    /** Backpressured issue; on refusal @p pkt is left untouched. */
+    [[nodiscard]] virtual bool tryIssue(MemPacket &pkt) = 0;
+
+    /** Register the retry hook for refused clients. */
+    virtual void setRetryCallback(std::function<void()> cb) = 0;
+
+    /** Register the tier's statistics into @p r. */
+    virtual void registerStats(util::StatRegistry &r) const = 0;
+
+    /** Requests queued across the tier right now (epoch gauge). */
+    virtual std::size_t queuedTotal() const = 0;
+
+    /** Reset device state and statistics. */
+    virtual void reset() = 0;
+};
+
+/**
  * A complete main-memory subsystem (RC-NVM, RRAM, DRAM, or GS-DRAM):
  * the Figure-6 organisation of channels x ranks x banks x subarrays
- * behind per-channel FR-FCFS controllers.
+ * behind per-channel pluggable-policy (default FR-FCFS) controllers.
  */
-class MemorySystem
+class MemorySystem : public MemoryTier
 {
   public:
     /**
@@ -58,7 +107,8 @@ class MemorySystem
     MemorySystem(DeviceKind kind, sim::EventQueue &eq,
                  const TimingParams &timing, bool salp,
                  unsigned queue_capacity, const Geometry &geometry,
-                 const std::vector<sim::EventQueue *> &channel_queues);
+                 const std::vector<sim::EventQueue *> &channel_queues,
+                 SchedPolicyKind sched = SchedPolicyKind::FrFcfs);
 
     /**
      * Wire the sharded memory system to the engine: controller
@@ -75,19 +125,19 @@ class MemorySystem
     DeviceKind kind() const { return kind_; }
 
     /** Capability set (column access, gather). */
-    const DeviceCaps &caps() const { return caps_; }
+    const DeviceCaps &caps() const override { return caps_; }
 
     /** The device's dual (or single) address map. */
-    const AddressMap &map() const { return map_; }
+    const AddressMap &map() const override { return map_; }
 
     /** True when a request can be queued right now. */
-    bool canAccept(Addr addr, Orientation orient) const;
+    bool canAccept(Addr addr, Orientation orient) const override;
 
     /** Channel a packet to this address/orientation would use. */
-    unsigned channelOf(Addr addr, Orientation orient) const;
+    unsigned channelOf(Addr addr, Orientation orient) const override;
 
     /** Number of channels (for per-channel client bookkeeping). */
-    unsigned channels() const
+    unsigned channels() const override
     {
         return static_cast<unsigned>(channels_.size());
     }
@@ -97,7 +147,7 @@ class MemorySystem
      * panic on devices without column access (the compiler must not
      * emit them).
      */
-    void issue(MemRequest &&req);
+    void issue(MemRequest &&req) override;
 
     /**
      * Backpressured issue: queue @p pkt only if its channel has
@@ -105,13 +155,13 @@ class MemorySystem
      * keeps ownership and retries after the retry callback) and the
      * rejection is counted in `mem.rejectedIssues`.
      */
-    [[nodiscard]] bool tryIssue(MemPacket &pkt);
+    [[nodiscard]] bool tryIssue(MemPacket &pkt) override;
 
     /**
      * Register the retry hook invoked (via a same-tick event)
      * whenever any channel that refused a packet frees queue space.
      */
-    void setRetryCallback(std::function<void()> cb);
+    void setRetryCallback(std::function<void()> cb) override;
 
     /**
      * Register this memory system's statistics: per-channel counters
@@ -124,17 +174,17 @@ class MemorySystem
      * The registry stores pointers into this object; it must not
      * outlive the memory system.
      */
-    void registerStats(util::StatRegistry &r) const;
+    void registerStats(util::StatRegistry &r) const override;
 
     /** Aggregate statistics over all channels (a snapshot of a
      *  registry built by registerStats). */
     util::StatsMap stats() const;
 
     /** Requests queued across all channels right now (epoch gauge). */
-    std::size_t queuedTotal() const;
+    std::size_t queuedTotal() const override;
 
     /** Reset controllers, banks, and statistics. */
-    void reset();
+    void reset() override;
 
   private:
     /** Post @p pkt's enqueue to channel @p c's shard, stamped with

@@ -1,0 +1,135 @@
+#include "mem/sched_policy.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace rcnvm::mem {
+
+namespace {
+
+constexpr std::uint64_t noSeq = std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * First-ready FCFS: the oldest ready open-buffer hit wins; with no
+ * ready hit, the oldest ready FIFO front. Only fronts compete in the
+ * no-hit tier — a deeper entry may bypass its bank's front solely on
+ * the strength of an open-buffer hit.
+ */
+class FrFcfsPolicy final : public SchedulerPolicy
+{
+  public:
+    const char *name() const override { return "frfcfs"; }
+
+    void begin() override
+    {
+        bestHitSeq_ = noSeq;
+        bestAnySeq_ = noSeq;
+    }
+
+    void offer(const SchedCandidate &c) override
+    {
+        if (c.pos == 0 && c.seq < bestAnySeq_) {
+            bestAnySeq_ = c.seq;
+            bestAny_ = c;
+        }
+        if (c.hit && c.seq < bestHitSeq_) {
+            bestHitSeq_ = c.seq;
+            bestHit_ = c;
+        }
+    }
+
+    bool choose(SchedCandidate &out) const override
+    {
+        if (bestHitSeq_ != noSeq) {
+            out = bestHit_;
+            return true;
+        }
+        if (bestAnySeq_ != noSeq) {
+            out = bestAny_;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    SchedCandidate bestHit_;
+    SchedCandidate bestAny_;
+    std::uint64_t bestHitSeq_ = noSeq;
+    std::uint64_t bestAnySeq_ = noSeq;
+};
+
+/**
+ * Strict FCFS: the oldest ready FIFO front wins regardless of buffer
+ * state. Deeper open-buffer hits never bypass, so per-bank service
+ * is pure arrival order (the classic row-hit-blind baseline).
+ */
+class FcfsPolicy final : public SchedulerPolicy
+{
+  public:
+    const char *name() const override { return "fcfs"; }
+
+    void begin() override { bestSeq_ = noSeq; }
+
+    void offer(const SchedCandidate &c) override
+    {
+        if (c.pos == 0 && c.seq < bestSeq_) {
+            bestSeq_ = c.seq;
+            best_ = c;
+        }
+    }
+
+    bool choose(SchedCandidate &out) const override
+    {
+        if (bestSeq_ == noSeq)
+            return false;
+        out = best_;
+        return true;
+    }
+
+  private:
+    SchedCandidate best_;
+    std::uint64_t bestSeq_ = noSeq;
+};
+
+} // namespace
+
+const char *
+toString(SchedPolicyKind kind)
+{
+    switch (kind) {
+      case SchedPolicyKind::FrFcfs:
+        return "frfcfs";
+      case SchedPolicyKind::Fcfs:
+        return "fcfs";
+    }
+    rcnvm_panic("unknown scheduler policy kind");
+}
+
+bool
+parseSchedPolicy(std::string_view s, SchedPolicyKind &out)
+{
+    if (s == "frfcfs" || s == "fr-fcfs") {
+        out = SchedPolicyKind::FrFcfs;
+        return true;
+    }
+    if (s == "fcfs") {
+        out = SchedPolicyKind::Fcfs;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<SchedulerPolicy>
+makeSchedulerPolicy(SchedPolicyKind kind)
+{
+    switch (kind) {
+      case SchedPolicyKind::FrFcfs:
+        return std::make_unique<FrFcfsPolicy>();
+      case SchedPolicyKind::Fcfs:
+        return std::make_unique<FcfsPolicy>();
+    }
+    rcnvm_panic("unknown scheduler policy kind");
+}
+
+} // namespace rcnvm::mem

@@ -15,14 +15,22 @@ toString(RequestClass cls)
 OltpGenerator::OltpGenerator(const workload::PlacedDatabase &pd,
                              Tick mean_inter_arrival,
                              double update_fraction,
-                             std::uint64_t seed)
+                             std::uint64_t seed, double hot_fraction,
+                             double hot_probability)
     : pd_(&pd),
       meanInterArrival_(mean_inter_arrival),
       updateFraction_(update_fraction),
       tuples_(pd.db->table(pd.a).tuples()),
+      hotProbability_(hot_probability),
       tupleWords_(pd.db->table(pd.a).schema().tupleWords()),
       rng_(seed)
 {
+    hotTuples_ = static_cast<std::uint64_t>(
+        static_cast<double>(tuples_) * hot_fraction);
+    if (hotTuples_ == 0)
+        hotTuples_ = 1;
+    if (hotTuples_ > tuples_)
+        hotTuples_ = tuples_;
 }
 
 Tick
@@ -40,7 +48,12 @@ OltpGenerator::nextGap()
 Request
 OltpGenerator::make(Tick arrival)
 {
-    const std::uint64_t t = rng_.nextBounded(tuples_);
+    std::uint64_t t = rng_.nextBounded(tuples_);
+    // Hot-set skew (hybrid-tier studies): folded onto the uniform
+    // draw so the disabled path makes exactly the historical draw
+    // sequence, keeping every seeded golden byte-identical.
+    if (hotProbability_ > 0.0 && rng_.nextBool(hotProbability_))
+        t %= hotTuples_;
     const bool update = rng_.nextBool(updateFraction_);
     // The written field is drawn even for read-only requests so the
     // request sequence (and therefore every downstream draw) does

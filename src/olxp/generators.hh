@@ -63,10 +63,16 @@ class OltpGenerator
      * @param mean_inter_arrival  mean of the exponential gap (ticks)
      * @param update_fraction  probability a request also writes
      * @param seed  generator seed
+     * @param hot_fraction  leading fraction of the table forming the
+     *   hot set (used only when @p hot_probability > 0)
+     * @param hot_probability  probability a lookup targets the hot
+     *   set; 0 (the default) disables skew with a draw sequence
+     *   identical to the historical uniform generator
      */
     OltpGenerator(const workload::PlacedDatabase &pd,
                   Tick mean_inter_arrival, double update_fraction,
-                  std::uint64_t seed);
+                  std::uint64_t seed, double hot_fraction = 0.0,
+                  double hot_probability = 0.0);
 
     /** Exponential inter-arrival draw, at least one tick. */
     Tick nextGap();
@@ -80,6 +86,8 @@ class OltpGenerator
     Tick meanInterArrival_;
     double updateFraction_;
     std::uint64_t tuples_;
+    std::uint64_t hotTuples_;
+    double hotProbability_;
     unsigned tupleWords_;
     util::Random rng_;
 };

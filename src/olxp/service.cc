@@ -31,7 +31,9 @@ QueryScheduler::QueryScheduler(cpu::Machine &machine,
       oltpGen_(pd, config.oltpInterArrival,
                config.oltpUpdateFraction,
                (config.seed ? config.seed : machine.config().seed) +
-                   0x01),
+                   0x01,
+               config.oltpHotTupleFraction,
+               config.oltpHotProbability),
       olapGen_(pd, config.olapTuplesPerScan, config.olapFields,
                (config.seed ? config.seed : machine.config().seed) +
                    0x02),

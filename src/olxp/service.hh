@@ -40,6 +40,12 @@ struct ServiceConfig {
     Tick oltpInterArrival{100000};
     /** Fraction of OLTP requests that also write one field. */
     double oltpUpdateFraction = 0.2;
+    /** Leading fraction of the table forming the OLTP hot set
+     *  (only used when oltpHotProbability > 0). */
+    double oltpHotTupleFraction = 0.125;
+    /** Probability an OLTP lookup targets the hot set; 0 (the
+     *  default) keeps the historical uniform tuple draw. */
+    double oltpHotProbability = 0.0;
     /** Concurrent closed-loop OLAP scan streams (0 = no
      *  background). */
     unsigned olapStreams = 1;

@@ -144,8 +144,8 @@ ParallelEngine::exchange(Tick next_window_start)
         toChannel_[c].drainInto(*channels_[c]);
     for (ShardMailbox &box : toCore_)
         box.drainInto(core_);
-    if (exchangeHook_)
-        exchangeHook_(next_window_start);
+    for (const auto &hook : exchangeHooks_)
+        hook(next_window_start);
 }
 
 bool

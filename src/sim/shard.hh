@@ -126,15 +126,17 @@ class ParallelEngine
     ShardMailbox &toCore(unsigned c) { return toCore_[c]; }
 
     /**
-     * Register the exchange hook, called by the coordinator at every
+     * Register an exchange hook, called by the coordinator at every
      * window boundary after message delivery with the next core
-     * window's start tick. The memory system uses it to fold channel
-     * dequeue counts into its occupancy mirrors and to inject retry
-     * notifications for clients refused under backpressure.
+     * window's start tick. Memory systems use it to fold channel
+     * dequeue counts into their occupancy mirrors and to inject
+     * retry notifications for clients refused under backpressure.
+     * Hooks run in registration order; a hybrid machine registers
+     * one per tier.
      */
-    void setExchangeHook(std::function<void(Tick)> hook)
+    void addExchangeHook(std::function<void(Tick)> hook)
     {
-        exchangeHook_ = std::move(hook);
+        exchangeHooks_.push_back(std::move(hook));
     }
 
     /** Run the window pipeline until every shard is drained. */
@@ -179,7 +181,7 @@ class ParallelEngine
     std::vector<EventQueue *> channels_;
     std::vector<ShardMailbox> toChannel_;
     std::vector<ShardMailbox> toCore_;
-    std::function<void(Tick)> exchangeHook_;
+    std::vector<std::function<void(Tick)>> exchangeHooks_;
     Tick window_;
 
     // Round barrier. The coordinator publishes a round number in

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Tests for the hybrid DRAM + RC-NVM memory tier: remap-table
+ * involution, the shadow-row-buffer locality tracker, migration
+ * routing and policies on a directly-driven HybridMemory, and
+ * whole-machine determinism of hybrid runs (same seed byte-identical
+ * JSON, RCNVM_THREADS=1 vs 4 equivalence).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "mem/hybrid_tier.hh"
+#include "olxp/service.hh"
+#include "util/stats_io.hh"
+#include "workload/tables.hh"
+
+namespace rcnvm::mem {
+namespace {
+
+Geometry
+nearGeometry(const Geometry &far)
+{
+    // The same derivation cpu::Machine uses: inherit the far channel
+    // count and row shape, shrink capacity to a handful of frames.
+    Geometry g = far;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 8;
+    g.subarraysPerBank = 1;
+    g.rowsPerSubarray = 16;
+    return g;
+}
+
+// --- RemapTable --------------------------------------------------
+
+TEST(RemapTable, StartsFullyUnmapped)
+{
+    const Geometry far = Geometry::rcNvm();
+    RemapTable rt(far, nearGeometry(far));
+    EXPECT_EQ(rt.mappedRows(), 0u);
+    EXPECT_EQ(rt.frames(),
+              far.channels * rt.framesPerChannel());
+    for (std::uint32_t f = 0; f < rt.frames(); ++f)
+        EXPECT_EQ(rt.rowOfFrame(f), -1);
+    EXPECT_EQ(rt.frameOf(0), -1);
+}
+
+TEST(RemapTable, MapUnmapIsAnInvolution)
+{
+    const Geometry far = Geometry::rcNvm();
+    RemapTable rt(far, nearGeometry(far));
+
+    // Any even number of migrations (map/unmap pairs, with the row
+    // landing in a different frame each round) must return every row
+    // to identity translation.
+    const std::uint64_t rows[] = {0, 7, 42,
+                                  rt.rows() / far.channels - 1};
+    for (unsigned round = 0; round < 4; ++round) {
+        unsigned slot = 0;
+        for (const std::uint64_t row : rows) {
+            // Distinct frame per row and round (all four rows may
+            // share a channel, so offsets must not collide).
+            const std::uint32_t frame =
+                rt.rowChannel(row) * rt.framesPerChannel() +
+                round * 4 + slot++;
+            rt.map(row, frame);
+            EXPECT_EQ(rt.frameOf(row),
+                      static_cast<std::int64_t>(frame));
+            EXPECT_EQ(rt.rowOfFrame(frame),
+                      static_cast<std::int64_t>(row));
+        }
+        EXPECT_EQ(rt.mappedRows(), 4u);
+        for (const std::uint64_t row : rows)
+            rt.unmap(row);
+        EXPECT_EQ(rt.mappedRows(), 0u);
+        for (const std::uint64_t row : rows)
+            EXPECT_EQ(rt.frameOf(row), -1);
+        for (std::uint32_t f = 0; f < rt.frames(); ++f)
+            EXPECT_EQ(rt.rowOfFrame(f), -1);
+    }
+}
+
+TEST(RemapTable, ToNearCarriesColumnAndChannel)
+{
+    const Geometry far = Geometry::rcNvm();
+    RemapTable rt(far, nearGeometry(far));
+
+    DecodedAddr d;
+    d.channel = 1;
+    d.bank = 3;
+    d.row = 9;
+    d.col = 48;
+    const std::uint64_t row = rt.rowId(d);
+    EXPECT_EQ(rt.rowChannel(row), 1u);
+
+    const std::uint32_t frame = 1 * rt.framesPerChannel() + 5;
+    rt.map(row, frame);
+    const DecodedAddr n = rt.toNear(d);
+    EXPECT_EQ(n.channel, 1u); // migrations are channel-local
+    EXPECT_EQ(n.col, 48u);    // column offset carries over
+    rt.unmap(row);
+}
+
+TEST(RemapTable, FrameLocationRoundRobinsNearBanks)
+{
+    const Geometry far = Geometry::rcNvm();
+    const Geometry near = nearGeometry(far);
+    RemapTable rt(far, near);
+    // Consecutive frames spread across the near banks before any
+    // bank reuses its next row.
+    std::set<unsigned> banks;
+    for (std::uint32_t f = 0; f < near.banksPerRank; ++f) {
+        const DecodedAddr d = rt.frameLocation(f);
+        banks.insert(d.bank);
+        EXPECT_EQ(d.row, 0u);
+    }
+    EXPECT_EQ(banks.size(), near.banksPerRank);
+    EXPECT_EQ(rt.frameLocation(near.banksPerRank).row, 1u);
+}
+
+// --- RowLocalityTracker ------------------------------------------
+
+TEST(LocalityTracker, ShadowBufferPredictsHitsAndConflicts)
+{
+    RowLocalityTracker t(Geometry::rcNvm(), 0.5, Tick{0});
+    EXPECT_FALSE(t.recordRow(5, Tick{0}));  // cold bank: miss
+    EXPECT_TRUE(t.recordRow(5, Tick{10}));  // same open row: hit
+    EXPECT_FALSE(t.recordRow(6, Tick{20})); // same-bank conflict
+    EXPECT_FALSE(t.recordRow(5, Tick{30})); // row 6 displaced row 5
+}
+
+TEST(LocalityTracker, ColumnAccessFlipsTheShadowBuffer)
+{
+    RowLocalityTracker t(Geometry::rcNvm(), 0.5, Tick{0});
+    EXPECT_FALSE(t.recordRow(5, Tick{0}));
+    EXPECT_TRUE(t.recordRow(5, Tick{1}));
+    t.recordColumn(5, Tick{2}); // the bank now holds column data
+    EXPECT_FALSE(t.recordRow(5, Tick{3}));
+    EXPECT_EQ(t.sample(5, Tick{3}).colTouches, 1.0f);
+}
+
+TEST(LocalityTracker, EwmaTracksMissRatio)
+{
+    RowLocalityTracker t(Geometry::rcNvm(), 0.25, Tick{0});
+    for (unsigned i = 0; i < 32; ++i)
+        t.recordRow(5, Tick{i});
+    // One cold miss followed by 31 hits: the EWMA decays toward 0.
+    EXPECT_LT(t.sample(5, Tick{32}).ewmaMiss, 0.01f);
+
+    // Ping-pong between two same-bank rows: every access misses.
+    for (unsigned i = 0; i < 16; ++i) {
+        t.recordRow(8, Tick{100 + 2 * i});
+        t.recordRow(9, Tick{101 + 2 * i});
+    }
+    EXPECT_GT(t.sample(8, Tick{200}).ewmaMiss, 0.9f);
+}
+
+TEST(LocalityTracker, TouchCountsHalveOncePerDecayPeriod)
+{
+    RowLocalityTracker t(Geometry::rcNvm(), 0.25, Tick{1000});
+    for (unsigned i = 0; i < 8; ++i)
+        t.recordRow(5, Tick{i});
+    EXPECT_EQ(t.sample(5, Tick{10}).rowTouches, 8.0f);
+    EXPECT_EQ(t.sample(5, Tick{1010}).rowTouches, 4.0f);
+    EXPECT_EQ(t.sample(5, Tick{3010}).rowTouches, 1.0f);
+    // sample() is non-mutating: asking again at an earlier time
+    // still sees the undecayed state.
+    EXPECT_EQ(t.sample(5, Tick{10}).rowTouches, 8.0f);
+}
+
+// --- HybridMemory, directly driven -------------------------------
+
+struct TierFixture {
+    explicit TierFixture(HybridTierConfig config)
+        : cfg(finish(config)),
+          far(DeviceKind::RcNvm, eq, TimingParams::rcNvm(), false, 32,
+              Geometry::rcNvm(), {}),
+          near(DeviceKind::Dram, eq, TimingParams::ddr3_1333(), false,
+               32, nearGeometry(Geometry::rcNvm()), {}),
+          tier(far, near, cfg, eq)
+    {
+        tier.registerStats(registry);
+    }
+
+    static HybridTierConfig
+    finish(HybridTierConfig c)
+    {
+        c.enabled = true;
+        c.decayPeriod = Tick{0}; // no decay: deterministic counts
+        c.migrationLatency = Tick{1000};
+        return c;
+    }
+
+    /** Issue one row access through the tier and drain. */
+    void
+    row(unsigned row_id, unsigned col, bool write = false)
+    {
+        DecodedAddr d;
+        d.row = row_id;
+        d.col = col;
+        MemPacket p;
+        p.addr = far.map().encode(d, Orientation::Row);
+        p.orient = Orientation::Row;
+        p.isWrite = write;
+        ASSERT_TRUE(tier.tryIssue(p));
+        eq.run();
+    }
+
+    /** Issue one column access (line spanning rows 0-7 at @p col). */
+    void
+    column(unsigned col)
+    {
+        DecodedAddr d;
+        d.col = col;
+        MemPacket p;
+        p.addr = far.map().encode(d, Orientation::Column);
+        p.orient = Orientation::Column;
+        ASSERT_TRUE(tier.tryIssue(p));
+        eq.run();
+    }
+
+    double stat(const std::string &name)
+    {
+        return registry.snapshot().get(name);
+    }
+
+    sim::EventQueue eq;
+    HybridTierConfig cfg;
+    MemorySystem far;
+    MemorySystem near;
+    HybridMemory tier;
+    util::StatRegistry registry;
+};
+
+HybridTierConfig
+policyConfig(MigrationPolicyKind kind, double hot_threshold = 3.0)
+{
+    HybridTierConfig c;
+    c.policy = kind;
+    c.hotThreshold = hot_threshold;
+    return c;
+}
+
+TEST(HybridMemory, HotPagePromotesAfterThresholdTouches)
+{
+    TierFixture f(policyConfig(MigrationPolicyKind::HotPage));
+
+    f.row(5, 0);
+    f.row(5, 8);
+    EXPECT_EQ(f.tier.remap().mappedRows(), 0u);
+    f.row(5, 16); // third touch reaches the threshold
+    EXPECT_EQ(f.tier.remap().mappedRows(), 1u);
+    EXPECT_EQ(f.stat("tier.promotions"), 1.0);
+    EXPECT_EQ(f.stat("tier.nearHits"), 0.0);
+
+    // The promoted row now routes to the near tier.
+    f.row(5, 24);
+    EXPECT_EQ(f.stat("tier.nearHits"), 1.0);
+    EXPECT_GE(f.stat("tier.near.reads"), 1.0);
+    EXPECT_EQ(f.stat("tier.remapOccupancy"), 1.0);
+}
+
+TEST(HybridMemory, ColumnOverDirtyMappedRowForcesWriteback)
+{
+    TierFixture f(policyConfig(MigrationPolicyKind::HotPage));
+
+    f.row(5, 0);
+    f.row(5, 8);
+    f.row(5, 16);
+    ASSERT_EQ(f.tier.remap().mappedRows(), 1u);
+
+    f.row(5, 24, /*write=*/true); // dirty the near copy
+    f.column(0); // the column line crosses rows 0-7, row 5 included
+    EXPECT_GE(f.stat("tier.colNearOverlaps"), 1.0);
+    EXPECT_EQ(f.stat("tier.colDirtyForces"), 1.0);
+    // A second column pass sees a clean frame: no second force.
+    f.column(8);
+    EXPECT_EQ(f.stat("tier.colDirtyForces"), 1.0);
+    // HotPage never demotes on column pressure.
+    EXPECT_EQ(f.tier.remap().mappedRows(), 1u);
+}
+
+TEST(HybridMemory, OrientationPolicyDemotesColumnScannedRows)
+{
+    TierFixture f(policyConfig(MigrationPolicyKind::Orientation));
+
+    f.row(5, 0);
+    f.row(5, 8);
+    f.row(5, 16);
+    ASSERT_EQ(f.tier.remap().mappedRows(), 1u);
+
+    // Column touches past the veto ratio (colTouches > rowTouches)
+    // demote the row back to RC-NVM.
+    for (unsigned i = 0; i < 6; ++i)
+        f.column(8 * i);
+    EXPECT_EQ(f.tier.remap().mappedRows(), 0u);
+    EXPECT_EQ(f.stat("tier.demotions"), 1.0);
+    // An even number of migrations: the row translates at identity
+    // again and far accesses are far once more.
+    const double nearBefore = f.stat("tier.nearHits");
+    f.row(5, 32);
+    EXPECT_EQ(f.stat("tier.nearHits"), nearBefore);
+}
+
+TEST(HybridMemory, ResetRestoresPristineState)
+{
+    TierFixture f(policyConfig(MigrationPolicyKind::HotPage));
+    f.row(5, 0);
+    f.row(5, 8);
+    f.row(5, 16);
+    ASSERT_EQ(f.tier.remap().mappedRows(), 1u);
+    f.tier.reset();
+    EXPECT_EQ(f.tier.remap().mappedRows(), 0u);
+    EXPECT_EQ(f.stat("tier.promotions"), 0.0);
+    EXPECT_EQ(f.stat("tier.rowAccesses"), 0.0);
+    // The tier works again after the wipe.
+    f.row(5, 0);
+    EXPECT_EQ(f.stat("tier.rowAccesses"), 1.0);
+}
+
+// --- Whole-machine determinism -----------------------------------
+
+cpu::MachineConfig
+hybridShardedConfig(unsigned threads)
+{
+    cpu::MachineConfig config;
+    config.device = DeviceKind::RcNvm;
+    Geometry g = geometryFor(DeviceKind::RcNvm);
+    g.channels = 4;
+    config.geometry = g;
+    config.threads = threads;
+    config.hierarchy.l3 =
+        cache::CacheConfig{"L3", 64 * 1024, 64, 8};
+    config.seed = 42;
+    config.tier.enabled = true;
+    config.tier.policy = MigrationPolicyKind::Orientation;
+    config.tier.hotThreshold = 2.0;
+    config.tier.migrationLatency = Tick{5000};
+    return config;
+}
+
+/** Mixed row/column plans concentrated on a few hot rows so the
+ *  tier promotes (and the orientation policy demotes) mid-run. */
+std::vector<cpu::AccessPlan>
+hotRowPlans(const cpu::Machine &machine, unsigned ops_per_core)
+{
+    const AddressMap &map = machine.map();
+    const Geometry &g = map.geometry();
+    std::vector<cpu::AccessPlan> plans(4);
+    for (unsigned core = 0; core < 4; ++core) {
+        for (unsigned i = 0; i < ops_per_core; ++i) {
+            DecodedAddr d;
+            d.channel = (core + i) % g.channels;
+            d.bank = (i / 5) % g.banksPerRank;
+            d.row = (core + i) % 4; // a handful of hot rows per bank
+            d.col = ((i * 13) % (g.colsPerSubarray / 8)) * 8;
+            const Addr row_a = map.encode(d, Orientation::Row);
+            if (i % 11 == 10) {
+                plans[core].push_back(cpu::MemOp::cload(
+                    map.encode(d, Orientation::Column)));
+            } else if (i % 5 == 0) {
+                plans[core].push_back(cpu::MemOp::store(row_a));
+            } else {
+                plans[core].push_back(cpu::MemOp::load(row_a));
+            }
+        }
+    }
+    return plans;
+}
+
+std::string
+hybridRunJson(unsigned threads, double *promotions = nullptr)
+{
+    cpu::Machine machine(hybridShardedConfig(threads));
+    const std::vector<cpu::AccessPlan> plans =
+        hotRowPlans(machine, 400);
+    const cpu::RunResult r = machine.run(plans);
+    if (promotions != nullptr)
+        *promotions = r.stats.get("tier.promotions");
+    std::ostringstream os;
+    util::writeStatsJson(os, r.stats, "hybrid", r.ticks);
+    return os.str();
+}
+
+TEST(HybridDeterminism, FourWorkersMatchSingleThreadByteForByte)
+{
+    double promotions = 0;
+    const std::string single = hybridRunJson(1, &promotions);
+    const std::string sharded = hybridRunJson(4);
+    EXPECT_EQ(single, sharded);
+    // The equivalence must be exercised by real tier activity.
+    EXPECT_GT(promotions, 0.0);
+}
+
+TEST(HybridDeterminism, ShardedHybridRunIsRepeatStable)
+{
+    EXPECT_EQ(hybridRunJson(4), hybridRunJson(4));
+}
+
+TEST(HybridDeterminism, SameSeedHybridServiceRunsAreByteIdentical)
+{
+    const workload::TableSet tables =
+        workload::TableSet::standard(4096, 256, 99);
+    const workload::QueryWorkload workload(tables);
+    const AddressMap map(geometryFor(DeviceKind::RcNvm));
+    const workload::PlacedDatabase pd =
+        workload.place(DeviceKind::RcNvm, map);
+
+    const auto runOnce = [&pd] {
+        cpu::MachineConfig config;
+        config.device = DeviceKind::RcNvm;
+        config.seed = 99;
+        config.tier.enabled = true;
+        config.tier.policy = MigrationPolicyKind::HotPage;
+        config.tier.hotThreshold = 2.0;
+        cpu::Machine machine(config);
+
+        olxp::ServiceConfig cfg;
+        cfg.oltpInterArrival = Tick{20000};
+        cfg.oltpHotTupleFraction = 0.125;
+        cfg.oltpHotProbability = 0.8;
+        cfg.olapStreams = 1;
+        cfg.olapTuplesPerScan = 256;
+        cfg.horizon = Tick{2000000};
+        olxp::QueryScheduler sched(machine, pd, cfg);
+        const olxp::ServiceResult r = sched.run();
+        std::ostringstream os;
+        util::writeStatsJson(os, r.run.stats, "svc", r.run.ticks);
+        return os.str();
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+// --- OLTP hot-set knob -------------------------------------------
+
+TEST(HotSetKnob, SkewShrinksTheTupleFootprint)
+{
+    const workload::TableSet tables =
+        workload::TableSet::standard(4096, 256, 99);
+    const workload::QueryWorkload workload(tables);
+    const AddressMap map(geometryFor(DeviceKind::RcNvm));
+    const workload::PlacedDatabase pd =
+        workload.place(DeviceKind::RcNvm, map);
+
+    const auto footprint = [&pd](double hot_frac, double hot_prob) {
+        olxp::OltpGenerator gen(pd, Tick{1000}, 0.0, 7, hot_frac,
+                                hot_prob);
+        std::set<Addr> first;
+        for (unsigned i = 0; i < 512; ++i) {
+            const olxp::Request r = gen.make(Tick{0});
+            first.insert(r.plan.front().addr);
+        }
+        return first.size();
+    };
+    const std::size_t uniform = footprint(0.0, 0.0);
+    const std::size_t skewed = footprint(1.0 / 64.0, 1.0);
+    // P(hot)=1 over a 64-tuple hot set: at most 64 distinct targets
+    // versus hundreds under the uniform draw.
+    EXPECT_LE(skewed, 64u);
+    EXPECT_GT(uniform, 4u * skewed);
+}
+
+} // namespace
+} // namespace rcnvm::mem

@@ -19,6 +19,15 @@ in bench/ and tests/, plus every backticked dotted name in the
 DESIGN.md 4c statistics table (with {a,b} brace alternation expanded
 and <i> placeholders skipped).
 
+src/ is a consumer too: derived-formula bodies and cross-tier
+re-exports look up other statistics by name (``g.counter(...)``
+inside an ``addFormula``, the hybrid tier's ``tier.near.*`` counters
+reading the near device's ``mem.*`` map). Those lookups are
+collected with the wider accessor set ``get``/``at``/``counter``/
+``sampled``/``histogram``/``value`` and must resolve against the
+registrations like any bench-side lookup — a formula referencing a
+renamed input would otherwise silently evaluate over 0.0.
+
 Exit status: 0 when every consumed name resolves, 1 otherwise with
 one line per unknown name.
 """
@@ -34,6 +43,9 @@ REGISTER_FNS = (
     "addHistogram|addGauge|addFormula"
 )
 LOOKUP_FNS = "get|at|counter"
+# src-side formula bodies reach inputs through the typed accessors
+# as well; the wider set only applies where registrations also live.
+SRC_LOOKUP_FNS = "get|at|counter|sampled|histogram|value"
 
 LITERAL_REG = re.compile(
     r"\b(?:%s)\(\s*\"([^\"]+)\"\s*[,)]" % REGISTER_FNS
@@ -45,6 +57,9 @@ SUFFIX_REG = re.compile(
     r"\b(?:%s)\(\s*\w+\s*\+\s*\"([^\"]+)\"\s*[,)]" % REGISTER_FNS
 )
 LOOKUP = re.compile(r"\b(?:%s)\(\s*\"([^\"]+)\"\s*[,)]" % LOOKUP_FNS)
+SRC_LOOKUP = re.compile(
+    r"\b(?:%s)\(\s*\"([^\"]+)\"\s*[,)]" % SRC_LOOKUP_FNS
+)
 
 # Dotted names only: plain words ("hits", "g") are local test
 # registries exercising the registry itself, not simulator contract.
@@ -82,6 +97,21 @@ def collect_code_lookups():
                 name.startswith(n + ".") for n in local
             ):
                 continue
+            line = text.count("\n", 0, m.start()) + 1
+            found.setdefault(name, []).append(
+                "%s:%d" % (path.relative_to(ROOT), line)
+            )
+    return found
+
+
+def collect_src_lookups():
+    """Formula bodies and re-export lambdas under src/ consuming
+    other registered statistics by literal name."""
+    found = {}
+    for path in cpp_sources("src"):
+        text = path.read_text()
+        for m in SRC_LOOKUP.finditer(text):
+            name = m.group(1)
             line = text.count("\n", 0, m.start()) + 1
             found.setdefault(name, []).append(
                 "%s:%d" % (path.relative_to(ROOT), line)
@@ -146,6 +176,8 @@ def main():
         return 1
 
     consumed = collect_code_lookups()
+    for name, sites in collect_src_lookups().items():
+        consumed.setdefault(name, []).extend(sites)
     for name, sites in collect_design_lookups().items():
         consumed.setdefault(name, []).extend(sites)
 
