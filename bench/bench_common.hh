@@ -19,6 +19,7 @@
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "util/logging.hh"
+#include "util/random.hh"
 #include "util/table_printer.hh"
 
 namespace rcnvm::bench {
@@ -71,13 +72,12 @@ handleUsage(int argc, char **argv, const std::string &name,
     return true;
 }
 
-/** Tuples per benchmark table (override: RCNVM_TUPLES). */
+/** Tuples per benchmark table (override: RCNVM_TUPLES; malformed
+ *  values are a fatal configuration error, not a silent 0). */
 inline std::uint64_t
 benchTuples(std::uint64_t fallback = 131072)
 {
-    if (const char *env = std::getenv("RCNVM_TUPLES"))
-        return std::strtoull(env, nullptr, 10);
-    return fallback;
+    return util::envUint64("RCNVM_TUPLES", fallback);
 }
 
 /** The four devices in the order the paper plots them. */

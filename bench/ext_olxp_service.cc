@@ -85,11 +85,11 @@ main(int argc, char **argv)
     const std::uint64_t seed = util::envSeed(42);
 
     // Service shape, overridable for exploration (RCNVM_OLXP_*).
+    // Strictly validated: a typo'd override must fail loudly, not
+    // silently run a different service shape.
     const auto envU = [](const char *name,
                          std::uint64_t fallback) -> std::uint64_t {
-        if (const char *v = std::getenv(name))
-            return std::strtoull(v, nullptr, 10);
-        return fallback;
+        return util::envUint64(name, fallback);
     };
     olxp::ServiceConfig service;
     service.oltpUpdateFraction =

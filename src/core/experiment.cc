@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/presets.hh"
+#include "util/random.hh"
 #include "util/stats_io.hh"
 
 namespace rcnvm::core {
@@ -17,8 +18,9 @@ cpu::MachineConfig
 withEpochOverride(cpu::MachineConfig config)
 {
     if (config.epochTicks == Tick{}) {
-        if (const char *env = std::getenv("RCNVM_EPOCH_TICKS"))
-            config.epochTicks = Tick{std::strtoull(env, nullptr, 10)};
+        // Strict parse: a malformed value must fail loudly, not
+        // silently disable sampling (raw strtoull yielded 0 here).
+        config.epochTicks = Tick{util::envUint64("RCNVM_EPOCH_TICKS", 0)};
     }
     return config;
 }

@@ -20,9 +20,16 @@ void
 Core::start(const AccessPlan &plan,
             util::UniqueFunction<void(Tick)> on_finish)
 {
-    plan_ = &plan;
+    planSource_ = PlanOpSource(plan);
+    start(planSource_, std::move(on_finish));
+}
+
+void
+Core::start(OpSource &source,
+            util::UniqueFunction<void(Tick)> on_finish)
+{
+    source_ = &source;
     onFinish_ = std::move(on_finish);
-    pc_ = 0;
     outstanding_ = 0;
     readyTick_ = eq_.now();
     finished_ = false;
@@ -73,32 +80,33 @@ Core::advance()
     if (finished_)
         return;
 
-    while (pc_ < plan_->size()) {
+    while (const MemOp *head = source_->peek()) {
         const Tick now = eq_.now();
         if (now < readyTick_) {
             scheduleAdvance(readyTick_);
             return;
         }
 
-        const MemOp &op = (*plan_)[pc_];
+        const MemOp &op = *head;
         switch (op.kind) {
           case OpKind::Compute:
-            readyTick_ = now + clock_.cyclesToTicks(CpuCycles{op.computeCycles});
-            ++pc_;
+            readyTick_ = now + clock_.cyclesToTicks(
+                                   CpuCycles{op.computeCycles});
+            source_->advance();
             continue;
 
           case OpKind::Pin:
             hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
                                 true);
             readyTick_ = now + clock_.cyclesToTicks(CpuCycles{2});
-            ++pc_;
+            source_->advance();
             continue;
 
           case OpKind::Unpin:
             hierarchy_.pinRange(op.addr, op.pinOrient, op.bytes,
                                 false);
             readyTick_ = now + clock_.cyclesToTicks(CpuCycles{2});
-            ++pc_;
+            source_->advance();
             continue;
 
           case OpKind::Fence:
@@ -106,7 +114,7 @@ Core::advance()
                 fencePending_ = true;
                 return; // resumed by onAccessDone
             }
-            ++pc_;
+            source_->advance();
             continue;
 
           case OpKind::Load:
@@ -163,24 +171,26 @@ Core::advance()
             }
             ++outstanding_;
             memOps_.inc();
-            ++pc_;
+            source_->advance();
             readyTick_ = now + clock_.period(); // one issue per cycle
             continue;
           }
         }
     }
 
+    // Reaching here means the source is exhausted (the loop returns
+    // from inside on every stall).
     if (fencePending_ && outstanding_ == 0)
         fencePending_ = false;
 
     // The final operation may have been a Compute/Pin that set a
     // future ready time; the core is only done once it elapses.
-    if (pc_ >= plan_->size() && eq_.now() < readyTick_) {
+    if (eq_.now() < readyTick_) {
         scheduleAdvance(readyTick_);
         return;
     }
 
-    if (pc_ >= plan_->size() && outstanding_ == 0 && !finished_) {
+    if (outstanding_ == 0 && !finished_) {
         finished_ = true;
         finishTick_ = eq_.now();
         // Detach the continuation before invoking it: a scheduler

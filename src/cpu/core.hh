@@ -11,6 +11,7 @@
 
 #include "cache/hierarchy.hh"
 #include "cpu/mem_op.hh"
+#include "cpu/op_source.hh"
 #include "sim/clock_domain.hh"
 #include "sim/event_queue.hh"
 #include "util/stats.hh"
@@ -19,7 +20,9 @@
 namespace rcnvm::cpu {
 
 /**
- * Replays an AccessPlan against the cache hierarchy.
+ * Replays an operation stream against the cache hierarchy — a
+ * pre-materialised AccessPlan or any pull-based OpSource (windowed
+ * binary-trace replay).
  *
  * The core issues one operation per CPU cycle while fewer than
  * `window` memory accesses are outstanding; Compute ops make it busy
@@ -51,6 +54,13 @@ class Core
      *  calling start from inside the previous plan's on_finish
      *  callback is allowed (service dispatch onto a freed core). */
     void start(const AccessPlan &plan,
+               util::UniqueFunction<void(Tick)> on_finish);
+
+    /** Begin consuming @p source — the streaming form of start():
+     *  the core pulls operations one at a time, so the stream may be
+     *  unbounded (trace replay). Same borrowing and re-entry rules
+     *  as the plan overload, which is implemented on top of this. */
+    void start(OpSource &source,
                util::UniqueFunction<void(Tick)> on_finish);
 
     /** True when the whole plan has completed. */
@@ -87,8 +97,10 @@ class Core
     sim::ClockDomain<CpuClk> clock_; //!< from HierarchyConfig:
                                      //!< one shared 2 GHz clock
 
-    const AccessPlan *plan_ = nullptr; //!< borrowed from start()
-    std::size_t pc_ = 0;
+    OpSource *source_ = nullptr; //!< borrowed from start()
+    /** Adapter for the fixed-plan start() overload; source_ points
+     *  at it when a plan (rather than a caller stream) is active. */
+    PlanOpSource planSource_;
     unsigned outstanding_ = 0;
     Tick readyTick_{0};
     bool advanceScheduled_ = false;

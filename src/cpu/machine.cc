@@ -188,6 +188,50 @@ Machine::run(const AccessPlan &plan)
     return run(std::vector<AccessPlan>{plan});
 }
 
+RunResult
+Machine::runSources(const std::vector<OpSource *> &sources)
+{
+    if (sources.size() > cores_.size())
+        rcnvm_fatal("more op sources (", sources.size(),
+                    ") than cores (", cores_.size(), ")");
+
+    const Tick start = eq_.now();
+    Tick latest = start;
+    unsigned running = 0;
+
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        if (sources[i] == nullptr)
+            continue;
+        ++running;
+        cores_[i]->start(*sources[i], [&latest, &running](Tick t) {
+            latest = std::max(latest, t);
+            --running;
+        });
+    }
+
+    if (sampler_)
+        sampler_->start(config_.epochTicks);
+
+    if (engine_)
+        engine_->run();
+    else
+        eq_.run();
+
+    if (running != 0)
+        rcnvm_panic("simulation deadlock: ", running,
+                    " cores never finished");
+
+    RunResult result;
+    result.ticks = latest - start;
+    result.stats = registry_.snapshot();
+    result.stats.set("run.ticks", static_cast<double>(result.ticks.value()));
+    if (sampler_) {
+        result.series = sampler_->series();
+        sampler_->clear();
+    }
+    return result;
+}
+
 void
 Machine::startOnCore(unsigned c, const AccessPlan &plan,
                      util::UniqueFunction<void(Tick)> on_finish)

@@ -111,6 +111,17 @@ class Machine
     /** Convenience: run a single-core plan. */
     RunResult run(const AccessPlan &plan);
 
+    /**
+     * Replay one pull-based operation stream per core
+     * (sources.size() <= cores; a nullptr entry leaves that core
+     * idle). The streaming counterpart of run(): a core consumes
+     * its source one operation at a time, so the backing data may
+     * be an mmap-windowed multi-GB trace instead of a materialised
+     * plan. Replaying the same operation sequence produces the same
+     * events — and therefore byte-identical statistics — as run().
+     */
+    RunResult runSources(const std::vector<OpSource *> &sources);
+
     // --- Service-mode primitives (the OLXP scheduler). Instead of
     // --- replaying one fixed plan list, a client seeds the event
     // --- queue with arrival events, starts plans on cores as they

@@ -1,0 +1,89 @@
+#include "trace/trace_demux.hh"
+
+#include "trace/trace_binary.hh"
+#include "util/logging.hh"
+
+namespace rcnvm::trace {
+
+TraceDemux::TraceDemux(MmapTraceReader &reader, Config config)
+    : reader_(reader),
+      config_(config),
+      queues_(reader.header().coreCount),
+      unread_(reader.coreRecordCounts()),
+      sources_(reader.header().coreCount)
+{
+    for (unsigned c = 0; c < coreCount(); ++c)
+        sources_[c].bind(*this, c);
+}
+
+cpu::OpSource &
+TraceDemux::source(unsigned core)
+{
+    if (core >= sources_.size())
+        rcnvm_fatal("trace demux has ", sources_.size(),
+                    " core stream(s); asked for core ", core);
+    return sources_[core];
+}
+
+std::vector<cpu::OpSource *>
+TraceDemux::sources()
+{
+    std::vector<cpu::OpSource *> out;
+    out.reserve(sources_.size());
+    for (CoreSource &src : sources_)
+        out.push_back(&src);
+    return out;
+}
+
+bool
+TraceDemux::refill(unsigned core)
+{
+    TraceRecord rec;
+    while (queues_[core].empty()) {
+        if (!reader_.next(rec)) {
+            // The total record count checks out at open time, so
+            // this means the per-core table misattributed records.
+            rcnvm_fatal("trace demux: reader exhausted with ",
+                        unread_[core], " record(s) of core ", core,
+                        " still promised by the per-core counts");
+        }
+        std::deque<cpu::MemOp> &q = queues_[rec.core];
+        q.push_back(toMemOp(rec, reader_.consumed() - 1));
+        if (unread_[rec.core] == 0)
+            rcnvm_fatal("trace demux: more records for core ",
+                        static_cast<unsigned>(rec.core),
+                        " than the header's per-core count");
+        --unread_[rec.core];
+        if (q.size() > maxQueued_)
+            maxQueued_ = q.size();
+        if (rec.core != core && q.size() > config_.queueCapacity)
+            rcnvm_fatal(
+                "trace interleaving too skewed: ", q.size(),
+                " record(s) of core ",
+                static_cast<unsigned>(rec.core),
+                " are buffered while core ", core,
+                " still waits for its next record; raise the demux "
+                "queue capacity or interleave the trace");
+    }
+    return true;
+}
+
+const cpu::MemOp *
+TraceDemux::CoreSource::peek()
+{
+    std::deque<cpu::MemOp> &q = demux_->queues_[core_];
+    if (q.empty()) {
+        if (demux_->unread_[core_] == 0)
+            return nullptr; // stream exhausted, no file scan needed
+        demux_->refill(core_);
+    }
+    return &q.front();
+}
+
+void
+TraceDemux::CoreSource::advance()
+{
+    demux_->queues_[core_].pop_front();
+}
+
+} // namespace rcnvm::trace

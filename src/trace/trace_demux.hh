@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-core demultiplexing of a binary trace into bounded queues.
+ *
+ * A trace interleaves the records of all cores in one file-order
+ * stream, but each core consumes only its own. The demux reads the
+ * file strictly forward (preserving the mmap window's sequential
+ * access pattern) and parks records for not-yet-requesting cores in
+ * per-core queues. The header's per-core record counts let a core
+ * whose stream is exhausted report end-of-stream immediately — no
+ * scan to end-of-file — and the queue bound turns a pathologically
+ * skewed trace (one core's records millions of positions ahead of
+ * another's) into a loud error instead of unbounded memory growth.
+ */
+
+#ifndef RCNVM_TRACE_TRACE_DEMUX_HH_
+#define RCNVM_TRACE_TRACE_DEMUX_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cpu/op_source.hh"
+#include "trace/trace_reader.hh"
+
+namespace rcnvm::trace {
+
+/**
+ * Splits one MmapTraceReader into per-core cpu::OpSource streams
+ * suitable for cpu::Machine::runSources. The reader is borrowed and
+ * must outlive the demux; cores pull lazily, so file I/O happens
+ * on demand inside the simulation loop, one window at a time.
+ */
+class TraceDemux
+{
+  public:
+    struct Config {
+        /** Maximum records parked for one core while another core
+         *  pulls; exceeding it is fatal (trace too skewed). */
+        std::size_t queueCapacity = 1u << 16;
+    };
+
+    TraceDemux(MmapTraceReader &reader, Config config);
+    explicit TraceDemux(MmapTraceReader &reader)
+        : TraceDemux(reader, Config{})
+    {}
+
+    /** Number of core streams (the header's core count). */
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+
+    /** The pull stream of @p core. */
+    cpu::OpSource &source(unsigned core);
+
+    /** All streams in core order (Machine::runSources shape). */
+    std::vector<cpu::OpSource *> sources();
+
+    /** High-water mark of any single parked queue (observability:
+     *  tests assert boundedness on interleaved traces). */
+    std::size_t maxQueued() const { return maxQueued_; }
+
+  private:
+    class CoreSource final : public cpu::OpSource
+    {
+      public:
+        CoreSource() = default;
+
+        void
+        bind(TraceDemux &demux, unsigned core)
+        {
+            demux_ = &demux;
+            core_ = core;
+        }
+
+        const cpu::MemOp *peek() override;
+        void advance() override;
+
+      private:
+        TraceDemux *demux_ = nullptr;
+        unsigned core_ = 0;
+    };
+
+    /** Read forward until @p core has a queued record; false when
+     *  its stream is exhausted. */
+    bool refill(unsigned core);
+
+    MmapTraceReader &reader_;
+    Config config_;
+    std::vector<std::deque<cpu::MemOp>> queues_;
+    /** Records of each core still unread in the file. */
+    std::vector<std::uint64_t> unread_;
+    std::vector<CoreSource> sources_;
+    std::size_t maxQueued_ = 0;
+};
+
+} // namespace rcnvm::trace
+
+#endif // RCNVM_TRACE_TRACE_DEMUX_HH_

@@ -1,11 +1,14 @@
 #include "trace/trace_io.hh"
 
+#include <cstdint>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/random.hh"
 
 namespace rcnvm::trace {
 
@@ -29,6 +32,29 @@ parseOrient(const std::string &token, unsigned line_no)
         return Orientation::Column;
     rcnvm_fatal("trace line ", line_no,
                 ": expected orientation R or C, got '", token, "'");
+}
+
+/** Strictly parse one numeric trace token; any deviation (garbage,
+ *  sign, partial parse, overflow) is the documented fatal error with
+ *  the line number rather than a raw std::stoull exception or a
+ *  silent wrap. */
+std::uint64_t
+parseNumber(const std::string &token, const char *what,
+            unsigned line_no)
+{
+    std::uint64_t value = 0;
+    switch (util::parseUint64(token.c_str(), value)) {
+      case util::ParseUint::Ok:
+        return value;
+      case util::ParseUint::Overflow:
+        rcnvm_fatal("trace line ", line_no, ": ", what, " '", token,
+                    "' overflows 64 bits");
+      case util::ParseUint::Malformed:
+        break;
+    }
+    rcnvm_fatal("trace line ", line_no, ": ", what, " '", token,
+                "' is not a valid decimal or 0x-hex unsigned "
+                "integer");
 }
 
 void
@@ -117,13 +143,17 @@ readTrace(std::istream &is)
                 rcnvm_fatal("trace line ", line_no,
                             ": missing address");
             return static_cast<Addr>(
-                std::stoull(token, nullptr, 0));
+                parseNumber(token, "address", line_no));
         };
         const auto need_u32 = [&](const char *what) {
-            std::uint64_t v;
-            if (!(ls >> v))
+            std::string token;
+            if (!(ls >> token))
                 rcnvm_fatal("trace line ", line_no, ": missing ",
                             what);
+            const std::uint64_t v = parseNumber(token, what, line_no);
+            if (v > std::numeric_limits<std::uint32_t>::max())
+                rcnvm_fatal("trace line ", line_no, ": ", what, " ",
+                            v, " does not fit in 32 bits");
             return static_cast<std::uint32_t>(v);
         };
         const auto need_orient = [&]() {

@@ -1,0 +1,157 @@
+#include "trace/trace_reader.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace rcnvm::trace {
+
+namespace {
+
+std::size_t
+pageSize()
+{
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return page > 0 ? static_cast<std::size_t>(page) : 4096;
+}
+
+} // namespace
+
+MmapTraceReader::MmapTraceReader(const std::string &path,
+                                 std::size_t window_bytes)
+    : path_(path)
+{
+    const std::size_t page = pageSize();
+    window_ = ((window_bytes + page - 1) / page) * page;
+    if (window_ == 0)
+        window_ = page;
+
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (fd_ < 0)
+        rcnvm_fatal("cannot open trace file ", path_, ": ",
+                    std::strerror(errno));
+    struct stat st = {};
+    if (::fstat(fd_, &st) != 0)
+        rcnvm_fatal("cannot stat trace file ", path_, ": ",
+                    std::strerror(errno));
+    fileSize_ = static_cast<std::uint64_t>(st.st_size);
+
+    if (fileSize_ < sizeof(TraceFileHeader))
+        rcnvm_fatal("trace file ", path_, ": truncated header (",
+                    fileSize_, " bytes; a trace needs at least ",
+                    sizeof(TraceFileHeader), ")");
+    if (::pread(fd_, &header_, sizeof(header_), 0) !=
+        static_cast<ssize_t>(sizeof(header_)))
+        rcnvm_fatal("cannot read trace header from ", path_);
+
+    if (std::memcmp(header_.magic, kTraceMagic,
+                    sizeof(kTraceMagic)) != 0)
+        rcnvm_fatal("trace file ", path_,
+                    ": bad magic (not an RC-NVM binary trace)");
+    if (header_.version != kTraceVersion)
+        rcnvm_fatal("trace file ", path_, ": format version ",
+                    header_.version, " is not the supported version ",
+                    kTraceVersion);
+
+    payloadOffset_ = tracePayloadOffset(header_.coreCount);
+    if (fileSize_ < payloadOffset_)
+        rcnvm_fatal("trace file ", path_,
+                    ": truncated header (per-core count table for ",
+                    header_.coreCount, " core(s) is cut short)");
+
+    coreCounts_.resize(header_.coreCount);
+    if (header_.coreCount > 0 &&
+        ::pread(fd_, coreCounts_.data(), 8ull * header_.coreCount,
+                sizeof(TraceFileHeader)) !=
+            static_cast<ssize_t>(8ull * header_.coreCount))
+        rcnvm_fatal("cannot read per-core counts from ", path_);
+
+    const std::uint64_t payload = fileSize_ - payloadOffset_;
+    if (payload % sizeof(TraceRecord) != 0)
+        rcnvm_fatal("trace file ", path_, ": short final record (",
+                    payload % sizeof(TraceRecord),
+                    " trailing byte(s); records are ",
+                    sizeof(TraceRecord), " bytes)");
+    const std::uint64_t records = payload / sizeof(TraceRecord);
+    if (records != header_.recordCount)
+        rcnvm_fatal("trace file ", path_, ": header declares ",
+                    header_.recordCount, " record(s) but the file "
+                    "holds ", records);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : coreCounts_)
+        sum += c;
+    if (sum != header_.recordCount)
+        rcnvm_fatal("trace file ", path_, ": per-core counts sum "
+                    "to ", sum, " but the header declares ",
+                    header_.recordCount, " record(s)");
+}
+
+MmapTraceReader::~MmapTraceReader()
+{
+    unmapWindow();
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+MmapTraceReader::unmapWindow()
+{
+    if (map_ != nullptr) {
+        ::munmap(map_, mapLen_);
+        map_ = nullptr;
+        mapLen_ = 0;
+    }
+}
+
+void
+MmapTraceReader::mapWindowFor(std::uint64_t file_offset)
+{
+    unmapWindow();
+    const std::size_t page = pageSize();
+    const std::uint64_t aligned =
+        file_offset - file_offset % page;
+    const std::uint64_t remaining = fileSize_ - aligned;
+    const std::size_t len = static_cast<std::size_t>(
+        remaining < window_ ? remaining : window_);
+    void *m = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd_,
+                     static_cast<off_t>(aligned));
+    if (m == MAP_FAILED)
+        rcnvm_fatal("mmap failed for trace file ", path_, ": ",
+                    std::strerror(errno));
+    ::madvise(m, len, MADV_SEQUENTIAL);
+    map_ = static_cast<char *>(m);
+    mapOffset_ = aligned;
+    mapLen_ = len;
+    if (len > maxMapped_)
+        maxMapped_ = len;
+    ++remaps_;
+}
+
+bool
+MmapTraceReader::next(TraceRecord &out)
+{
+    if (nextRecord_ >= header_.recordCount)
+        return false;
+    const std::uint64_t off =
+        payloadOffset_ + nextRecord_ * sizeof(TraceRecord);
+    if (map_ == nullptr || off < mapOffset_ ||
+        off + sizeof(TraceRecord) > mapOffset_ + mapLen_)
+        mapWindowFor(off);
+    std::memcpy(&out, map_ + (off - mapOffset_), sizeof(out));
+    ++nextRecord_;
+    if (out.core >= header_.coreCount)
+        rcnvm_fatal("trace file ", path_, ": record ",
+                    nextRecord_ - 1, " names core ",
+                    static_cast<unsigned>(out.core),
+                    " but the header declares ", header_.coreCount,
+                    " core(s)");
+    return true;
+}
+
+} // namespace rcnvm::trace

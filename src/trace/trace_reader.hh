@@ -1,0 +1,106 @@
+/**
+ * @file
+ * mmap'd streaming reader for binary access traces.
+ *
+ * Replay must handle traces far larger than memory, so the reader
+ * never materialises the file: it maps one bounded window at a time
+ * and slides the window forward as records are consumed. Records
+ * are 16 bytes and always start 16-byte-aligned in the file
+ * (trace_binary.hh pads the header block), so a page-aligned window
+ * never splits a record and the resident set stays at one window
+ * regardless of trace size.
+ */
+
+#ifndef RCNVM_TRACE_TRACE_READER_HH_
+#define RCNVM_TRACE_TRACE_READER_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_binary.hh"
+
+namespace rcnvm::trace {
+
+/**
+ * Sequential binary-trace reader over a sliding mmap window.
+ *
+ * Construction validates the whole header block (magic, version,
+ * record-count consistency against the file size and the per-core
+ * count table); any deviation is a fatal error naming the file and
+ * the defect. next() then streams records in file order, remapping
+ * the window as it advances — maxMappedBytes()/remaps() expose the
+ * windowing behaviour so tests can assert residency stays bounded.
+ */
+class MmapTraceReader
+{
+  public:
+    /** Default window: 64 MB, a few thousand pages. */
+    static constexpr std::size_t kDefaultWindowBytes = 64u << 20;
+
+    /** Open and validate @p path; @p window_bytes is rounded up to
+     *  a whole number of pages (at least one). Fatal on any
+     *  malformed input. */
+    explicit MmapTraceReader(
+        const std::string &path,
+        std::size_t window_bytes = kDefaultWindowBytes);
+    ~MmapTraceReader();
+
+    MmapTraceReader(const MmapTraceReader &) = delete;
+    MmapTraceReader &operator=(const MmapTraceReader &) = delete;
+
+    /** The validated file header. */
+    const TraceFileHeader &header() const { return header_; }
+
+    /** Per-core record counts from the header block. */
+    const std::vector<std::uint64_t> &coreRecordCounts() const
+    {
+        return coreCounts_;
+    }
+
+    /** Copy the next record into @p out; false at end of trace.
+     *  Fatal when a record names a core outside the header's
+     *  declared range. */
+    bool next(TraceRecord &out);
+
+    /** Restart from the first record (keeps the current window). */
+    void rewind() { nextRecord_ = 0; }
+
+    /** Records consumed so far. */
+    std::uint64_t consumed() const { return nextRecord_; }
+
+    // Windowing observability (tests assert residency is bounded).
+
+    /** The rounded window size actually used. */
+    std::size_t windowBytes() const { return window_; }
+
+    /** Largest mapping ever held at once. */
+    std::size_t maxMappedBytes() const { return maxMapped_; }
+
+    /** Window remap count (> 1 proves the file exceeds a window). */
+    std::uint64_t remaps() const { return remaps_; }
+
+  private:
+    void mapWindowFor(std::uint64_t file_offset);
+    void unmapWindow();
+
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t fileSize_ = 0;
+    std::uint64_t payloadOffset_ = 0;
+    std::uint64_t nextRecord_ = 0;
+    TraceFileHeader header_;
+    std::vector<std::uint64_t> coreCounts_;
+
+    char *map_ = nullptr;
+    std::uint64_t mapOffset_ = 0;
+    std::size_t mapLen_ = 0;
+    std::size_t window_ = 0;
+    std::size_t maxMapped_ = 0;
+    std::uint64_t remaps_ = 0;
+};
+
+} // namespace rcnvm::trace
+
+#endif // RCNVM_TRACE_TRACE_READER_HH_

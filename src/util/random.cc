@@ -86,30 +86,48 @@ Random::nextBool(double p)
     return nextDouble() < p;
 }
 
+ParseUint
+parseUint64(const char *text, std::uint64_t &value)
+{
+    // strtoull is too permissive on its own: it accepts leading
+    // whitespace and signs, stops silently at the first bad
+    // character, and saturates on overflow. Each of those turns a
+    // typo into a quietly different experiment, so all are rejected.
+    if (*text == '\0' ||
+        std::isspace(static_cast<unsigned char>(*text)) ||
+        *text == '+' || *text == '-')
+        return ParseUint::Malformed;
+    const int base =
+        (text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) ? 16
+                                                               : 10;
+    char *end = nullptr;
+    errno = 0;
+    value = std::strtoull(text, &end, base);
+    if (end == text || *end != '\0')
+        return ParseUint::Malformed;
+    if (errno == ERANGE)
+        return ParseUint::Overflow;
+    return ParseUint::Ok;
+}
+
 std::uint64_t
 envUint64(const char *name, std::uint64_t fallback)
 {
     const char *env = std::getenv(name);
     if (env == nullptr)
         return fallback;
-    // strtoull is too permissive on its own: it accepts leading
-    // whitespace and signs, stops silently at the first bad
-    // character, and saturates on overflow. Each of those turns a
-    // typo into a quietly different experiment, so all are rejected.
-    if (*env == '\0' || std::isspace(static_cast<unsigned char>(*env)) ||
-        *env == '+' || *env == '-')
-        rcnvm_fatal(name, "=\"", env, "\" is not an unsigned integer");
-    const int base =
-        (env[0] == '0' && (env[1] == 'x' || env[1] == 'X')) ? 16 : 10;
-    char *end = nullptr;
-    errno = 0;
-    const std::uint64_t value = std::strtoull(env, &end, base);
-    if (end == env || *end != '\0')
-        rcnvm_fatal(name, "=\"", env, "\" is not a valid ",
-                    base == 16 ? "0x-hex" : "decimal", " integer");
-    if (errno == ERANGE)
+    std::uint64_t value = 0;
+    switch (parseUint64(env, value)) {
+      case ParseUint::Ok:
+        return value;
+      case ParseUint::Overflow:
         rcnvm_fatal(name, "=\"", env, "\" overflows 64 bits");
-    return value;
+      case ParseUint::Malformed:
+        break;
+    }
+    rcnvm_fatal(name, "=\"", env,
+                "\" is not a valid decimal or 0x-hex unsigned "
+                "integer");
 }
 
 std::uint64_t

@@ -42,6 +42,25 @@ class Random
     std::uint64_t s_[4];
 };
 
+/** Outcome of a strict unsigned-integer parse. */
+enum class ParseUint {
+    Ok,        //!< the whole string parsed
+    Malformed, //!< empty, signed, partial, or non-numeric input
+    Overflow,  //!< syntactically valid but exceeds 64 bits
+};
+
+/**
+ * Strictly parse @p text as an unsigned 64-bit integer, decimal or
+ * 0x-prefixed hexadecimal. Unlike raw strtoull/stoull this rejects
+ * leading whitespace, signs (so "-1" cannot wrap to a huge value),
+ * partial parses ("123abc"), and overflow saturation — every
+ * deviation is reported instead of silently yielding a different
+ * number. On success @p value holds the result; it is unspecified
+ * otherwise. All user-facing numeric input (environment variables,
+ * trace files) routes through this one validator.
+ */
+ParseUint parseUint64(const char *text, std::uint64_t &value);
+
 /**
  * Strictly parsed unsigned 64-bit environment variable: @p fallback
  * when @p name is unset, otherwise the value parsed as decimal or

@@ -109,6 +109,37 @@ TEST(TraceIoDeathTest, MissingOperandIsFatal)
                 ::testing::ExitedWithCode(1), "orientation");
 }
 
+TEST(TraceIoDeathTest, MalformedNumbersAreFatal)
+{
+    // Regression: these used to reach std::stoull raw — garbage
+    // escaped as an uncaught exception, negatives wrapped to huge
+    // addresses, and trailing junk was silently dropped.
+    EXPECT_EXIT((void)fromString("@core 0\nL 0xzz\n"),
+                ::testing::ExitedWithCode(1),
+                "trace line 2: address '0xzz'");
+    EXPECT_EXIT((void)fromString("@core 0\nL -1\n"),
+                ::testing::ExitedWithCode(1),
+                "not a valid decimal or 0x-hex");
+    EXPECT_EXIT((void)fromString("@core 0\nL 64k\n"),
+                ::testing::ExitedWithCode(1),
+                "not a valid decimal or 0x-hex");
+    EXPECT_EXIT(
+        (void)fromString("@core 0\nL 18446744073709551616\n"),
+        ::testing::ExitedWithCode(1), "overflows 64 bits");
+}
+
+TEST(TraceIoDeathTest, OversizedU32OperandIsFatal)
+{
+    // Regression: need_u32 truncated 64-bit values to their low 32
+    // bits instead of rejecting them.
+    EXPECT_EXIT((void)fromString("@core 0\nS 0x0 5000000000\n"),
+                ::testing::ExitedWithCode(1),
+                "bytes 5000000000 does not fit in 32 bits");
+    EXPECT_EXIT((void)fromString("@core 4294967296\nL 0x0\n"),
+                ::testing::ExitedWithCode(1),
+                "does not fit in 32 bits");
+}
+
 TEST(TraceIo, ReplayMatchesOriginalTiming)
 {
     // Compile a real query, round-trip it through the trace format,

@@ -483,6 +483,36 @@ TEST_F(EnvSeedDeathTest, RejectsOverflow)
                 "overflows");
 }
 
+TEST(ParseUint64Test, AcceptsDecimalAndHex)
+{
+    std::uint64_t v = 0;
+    EXPECT_EQ(parseUint64("0", v), ParseUint::Ok);
+    EXPECT_EQ(v, 0u);
+    EXPECT_EQ(parseUint64("12345", v), ParseUint::Ok);
+    EXPECT_EQ(v, 12345u);
+    EXPECT_EQ(parseUint64("0xDEADbeef", v), ParseUint::Ok);
+    EXPECT_EQ(v, 0xdeadbeefull);
+    EXPECT_EQ(parseUint64("18446744073709551615", v),
+              ParseUint::Ok);
+    EXPECT_EQ(v, ~std::uint64_t{0});
+}
+
+TEST(ParseUint64Test, ClassifiesMalformedAndOverflow)
+{
+    std::uint64_t v = 0;
+    const char *malformed[] = {"",    " 5",  "5 ",  "-1",  "+7",
+                               "0x",  "0xfg", "1e3", "12.5",
+                               "123abc", "garbage"};
+    for (const char *text : malformed) {
+        EXPECT_EQ(parseUint64(text, v), ParseUint::Malformed)
+            << "text: \"" << text << '"';
+    }
+    EXPECT_EQ(parseUint64("18446744073709551616", v),
+              ParseUint::Overflow);
+    EXPECT_EQ(parseUint64("0x10000000000000000", v),
+              ParseUint::Overflow);
+}
+
 TEST(TablePrinterTest, FormatsAlignedColumns)
 {
     TablePrinter t("demo");

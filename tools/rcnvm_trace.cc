@@ -21,6 +21,7 @@
 #include "mem/memory_system.hh"
 #include "trace/trace_io.hh"
 #include "util/logging.hh"
+#include "util/random.hh"
 
 using namespace rcnvm;
 
@@ -69,9 +70,7 @@ parseQuery(const std::string &name, workload::QueryId &id)
 std::uint64_t
 traceTuples()
 {
-    if (const char *env = std::getenv("RCNVM_TUPLES"))
-        return std::strtoull(env, nullptr, 10);
-    return 65536;
+    return util::envUint64("RCNVM_TUPLES", 65536);
 }
 
 int

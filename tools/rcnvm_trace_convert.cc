@@ -1,0 +1,254 @@
+/**
+ * @file
+ * rcnvm_trace_convert: convert access traces between the text
+ * format (trace_io), the binary replay format (trace_binary), and a
+ * documented subset of DynamoRIO drcachesim's offline-view listing.
+ *
+ *   rcnvm_trace_convert text2bin <in.trace> <out.rtb>
+ *   rcnvm_trace_convert bin2text <in.rtb> <out.trace>
+ *   rcnvm_trace_convert drcachesim <in.txt> <out.rtb> [cores]
+ *   rcnvm_trace_convert info <in.rtb>
+ *
+ * The drcachesim subset accepts the memory-reference lines of a
+ * `drcachesim -simulator_type view` (or `drmemtrace view`) listing:
+ * any line containing, in order, a `T<tid>` thread token, a
+ * `read` / `write` / `ifetch` type token, `<n> byte(s)`, and
+ * `@ <hex-addr>`. Thread ids map to cores round-robin in order of
+ * first appearance (modulo the core count, default 4); `ifetch`
+ * records are dropped (the simulated hierarchy is data-only);
+ * marker and header lines are skipped. Numeric fields are strictly
+ * validated — a malformed size or address is a fatal error with the
+ * line number, never a silently different trace.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_binary.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_reader.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+using namespace rcnvm;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  rcnvm_trace_convert text2bin <in.trace> <out.rtb>\n"
+           "  rcnvm_trace_convert bin2text <in.rtb> <out.trace>\n"
+           "  rcnvm_trace_convert drcachesim <in.txt> <out.rtb> "
+           "[cores]\n"
+           "  rcnvm_trace_convert info <in.rtb>\n";
+    return 2;
+}
+
+/** Strictly parse a numeric CLI/trace token; fatal with context. */
+std::uint64_t
+parseNumber(const std::string &token, const char *what,
+            unsigned line_no)
+{
+    std::uint64_t value = 0;
+    switch (util::parseUint64(token.c_str(), value)) {
+      case util::ParseUint::Ok:
+        return value;
+      case util::ParseUint::Overflow:
+        rcnvm_fatal("line ", line_no, ": ", what, " '", token,
+                    "' overflows 64 bits");
+      case util::ParseUint::Malformed:
+        break;
+    }
+    rcnvm_fatal("line ", line_no, ": ", what, " '", token,
+                "' is not a valid decimal or 0x-hex unsigned "
+                "integer");
+}
+
+int
+cmdText2Bin(const char *in, const char *out)
+{
+    std::ifstream file(in);
+    if (!file)
+        rcnvm_fatal("cannot open trace file ", in);
+    const auto plans = trace::readTrace(file);
+    trace::writeBinaryTrace(out, plans);
+
+    std::uint64_t ops = 0;
+    for (const auto &plan : plans)
+        ops += plan.size();
+    std::cout << "wrote " << ops << " record(s) for " << plans.size()
+              << " core(s) to " << out << "\n";
+    return 0;
+}
+
+int
+cmdBin2Text(const char *in, const char *out)
+{
+    const auto plans = trace::readBinaryTrace(in);
+
+    // The text format carries no byte count on loads (L/CL lines);
+    // records with a non-default load size cannot round-trip.
+    std::uint64_t lossy = 0;
+    for (const auto &plan : plans) {
+        for (const cpu::MemOp &op : plan) {
+            if ((op.kind == cpu::OpKind::Load ||
+                 op.kind == cpu::OpKind::CLoad) &&
+                op.bytes != 64)
+                ++lossy;
+        }
+    }
+    if (lossy > 0)
+        util::warn(lossy, " load record(s) carry a non-default size;"
+                          " the text format writes them as 64-byte "
+                          "loads");
+
+    std::ofstream file(out);
+    if (!file)
+        rcnvm_fatal("cannot open ", out, " for writing");
+    trace::writeTrace(file, plans);
+    std::cout << "wrote " << plans.size() << " core section(s) to "
+              << out << "\n";
+    return 0;
+}
+
+int
+cmdInfo(const char *in)
+{
+    trace::MmapTraceReader reader(in);
+    const trace::TraceFileHeader &h = reader.header();
+    std::cout << "file:     " << in << "\n"
+              << "version:  " << h.version << "\n"
+              << "cores:    " << h.coreCount << "\n"
+              << "records:  " << h.recordCount << "\n";
+    for (std::size_t c = 0; c < reader.coreRecordCounts().size();
+         ++c) {
+        std::cout << "  core " << c << ": "
+                  << reader.coreRecordCounts()[c] << " record(s)\n";
+    }
+    return 0;
+}
+
+int
+cmdDrcachesim(const char *in, const char *out,
+              std::uint64_t core_count)
+{
+    std::ifstream file(in);
+    if (!file)
+        rcnvm_fatal("cannot open drcachesim listing ", in);
+
+    trace::BinaryTraceWriter writer(
+        out, static_cast<unsigned>(core_count));
+    std::map<std::uint64_t, unsigned> tidToCore;
+    std::uint64_t converted = 0, ifetches = 0, skipped = 0;
+    unsigned line_no = 0;
+    std::string line;
+
+    while (std::getline(file, line)) {
+        ++line_no;
+        std::istringstream ls(line);
+        std::string token, type;
+        std::uint64_t tid = 0;
+        bool haveTid = false;
+
+        // Scan for the `T<tid>` token; everything before it
+        // (ordinals, timestamps) is presentation.
+        while (ls >> token) {
+            if (token.size() > 1 && token[0] == 'T' &&
+                util::parseUint64(token.c_str() + 1, tid) ==
+                    util::ParseUint::Ok) {
+                haveTid = true;
+                break;
+            }
+        }
+        if (!haveTid || !(ls >> type)) {
+            ++skipped;
+            continue;
+        }
+        if (type == "ifetch") {
+            ++ifetches;
+            continue;
+        }
+        if (type != "read" && type != "write") {
+            ++skipped; // markers and other record kinds
+            continue;
+        }
+
+        std::string sizeTok, byteWord, at, addrTok;
+        if (!(ls >> sizeTok >> byteWord >> at >> addrTok) ||
+            byteWord != "byte(s)" || at != "@") {
+            rcnvm_fatal("line ", line_no, ": malformed ", type,
+                        " record (expected '<n> byte(s) @ "
+                        "<addr>')");
+        }
+        const std::uint64_t size =
+            parseNumber(sizeTok, "size", line_no);
+        if (size == 0 ||
+            size > std::numeric_limits<std::uint32_t>::max())
+            rcnvm_fatal("line ", line_no, ": size ", size,
+                        " is outside the supported 1..2^32-1 "
+                        "range");
+        const std::uint64_t addr =
+            parseNumber(addrTok, "address", line_no);
+
+        const auto [it, inserted] = tidToCore.try_emplace(
+            tid, static_cast<unsigned>(tidToCore.size() %
+                                       core_count));
+        const unsigned core = it->second;
+        (void)inserted;
+        writer.append(
+            core, type == "read"
+                      ? cpu::MemOp::load(
+                            addr, static_cast<std::uint32_t>(size))
+                      : cpu::MemOp::store(
+                            addr, static_cast<std::uint32_t>(size)));
+        ++converted;
+    }
+    writer.finalize();
+
+    std::cout << "converted " << converted << " record(s) from "
+              << tidToCore.size() << " thread(s) onto " << core_count
+              << " core(s) (" << ifetches << " ifetch dropped, "
+              << skipped << " non-reference line(s) skipped) to "
+              << out << "\n";
+    if (converted == 0)
+        rcnvm_fatal("no memory-reference lines recognised in ", in,
+                    " (expected drcachesim view listing lines: "
+                    "'T<tid> read|write <n> byte(s) @ <addr>')");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "text2bin" && argc == 4)
+        return cmdText2Bin(argv[2], argv[3]);
+    if (cmd == "bin2text" && argc == 4)
+        return cmdBin2Text(argv[2], argv[3]);
+    if (cmd == "info" && argc == 3)
+        return cmdInfo(argv[2]);
+    if (cmd == "drcachesim" && (argc == 4 || argc == 5)) {
+        std::uint64_t cores = 4;
+        if (argc == 5) {
+            cores = parseNumber(argv[4], "core count", 0);
+            if (cores == 0 || cores > 256)
+                rcnvm_fatal("core count must be 1..256, got ",
+                            cores);
+        }
+        return cmdDrcachesim(argv[2], argv[3], cores);
+    }
+    return usage();
+}
