@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/presets.hh"
 #include "cpu/machine.hh"
 #include "mem/bank.hh"
 #include "mem/geometry.hh"
@@ -203,6 +204,61 @@ BM_ShardedEngineScaling(benchmark::State &state)
         static_cast<double>(simTicks), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ShardedEngineScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_Serve16EngineScaling(benchmark::State &state)
+{
+    // The same thread sweep on the serving machine preset
+    // (core::serve16Machine: 16 cores, 8 channels, 16 MB LLC, deep
+    // MSHR and controller queues) — the "bigger machine" the sharded
+    // engine was built for. Sixteen cores stream mixed loads/stores
+    // spread across all eight channels; with twice the shards of the
+    // 4-channel sweep the engine has twice the parallelism to
+    // harvest, so this is where scaling headroom (or its loss) shows
+    // first.
+    util::setLogLevel(util::LogLevel::Quiet);
+    cpu::MachineConfig config =
+        core::serve16Machine(mem::DeviceKind::RcNvm);
+    const mem::Geometry geometry = *config.geometry;
+    config.threads = static_cast<unsigned>(state.range(0));
+    config.seed = 42;
+    cpu::Machine machine(config);
+    const mem::AddressMap &map = machine.map();
+    const unsigned cores = config.hierarchy.cores;
+    std::vector<cpu::AccessPlan> plans(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        for (unsigned i = 0; i < 2048; ++i) {
+            mem::DecodedAddr d;
+            d.channel = (core + i) % geometry.channels;
+            d.rank = i % geometry.ranksPerChannel;
+            d.bank = (i / 3) % geometry.banksPerRank;
+            d.subarray = (i / 7) % geometry.subarraysPerBank;
+            d.row = (core * 31 + i * 7) % geometry.rowsPerSubarray;
+            d.col =
+                ((i * 13) % (geometry.colsPerSubarray / 8)) * 8;
+            const Addr a = map.encode(d, Orientation::Row);
+            plans[core].push_back(i % 3 == 0 ? cpu::MemOp::store(a)
+                                             : cpu::MemOp::load(a));
+        }
+    }
+    std::uint64_t simTicks = 0;
+    for (auto _ : state) {
+        machine.reset();
+        const cpu::RunResult r = machine.run(plans);
+        simTicks += r.ticks.value();
+        benchmark::DoNotOptimize(r.ticks);
+    }
+    state.SetItemsProcessed(state.iterations() * 2048 * cores);
+    state.counters["simTicks/s"] = benchmark::Counter(
+        static_cast<double>(simTicks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Serve16EngineScaling)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

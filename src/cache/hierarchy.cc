@@ -396,6 +396,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         req.isWrite = a.isWrite;
         req.gathered = true;
         req.origin = core;
+        req.priority = a.priority;
         const Tick path = config_.cyc(config_.l1Latency +
                                       config_.l2Latency +
                                       config_.l3Latency);
@@ -463,6 +464,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
         req.addr = key.addr;
         req.orient = key.orient;
         req.origin = core;
+        req.priority = a.priority;
         req.onComplete = [this, idx = mshrs_.indexOf(*entry)](Tick) {
             onFillComplete(idx);
         };
@@ -593,6 +595,7 @@ Hierarchy::access(unsigned core, const CacheAccess &a, DoneFn done)
     req.orient = key.orient;
     req.isWrite = false; // line fill; the write happens on return
     req.origin = core;
+    req.priority = a.priority;
     req.onComplete = [this, idx = mshrs_.indexOf(*entry)](Tick) {
             onFillComplete(idx);
         };

@@ -78,6 +78,11 @@ struct CacheAccess {
     bool isWrite = false;
     bool bypass = false; //!< GS-DRAM gathered access: skip caches
     bool prefetchL3 = false; //!< group caching: fill the LLC only
+    /** OLTP-class (latency-critical) access: carried into the miss
+     *  packet so read-priority channel scheduling can see it. A miss
+     *  that coalesces onto an in-flight MSHR entry inherits that
+     *  packet's flag — the fill is already underway either way. */
+    bool priority = false;
     unsigned bytes = 64;
 };
 

@@ -137,6 +137,7 @@ Core::advance()
             access.isWrite = op.isWrite();
             access.bypass = op.kind == OpKind::GLoad;
             access.prefetchL3 = op.kind == OpKind::CPrefetch;
+            access.priority = priority_;
             access.bytes = op.bytes;
             // Completion is always delivered through the event queue
             // (never synchronously from inside access), so the

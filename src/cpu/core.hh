@@ -63,6 +63,16 @@ class Core
     void start(OpSource &source,
                util::UniqueFunction<void(Tick)> on_finish);
 
+    /** Mark every access of subsequently started plans as
+     *  latency-class (OLTP) traffic; the flag rides the miss packets
+     *  into the channel controller, where the read-priority policy
+     *  can act on it. Sticky until changed — dispatchers set it per
+     *  plan right before start(). */
+    void setPriority(bool p) { priority_ = p; }
+
+    /** Current latency-class flag. */
+    bool priority() const { return priority_; }
+
     /** True when the whole plan has completed. */
     bool finished() const { return finished_; }
 
@@ -107,6 +117,7 @@ class Core
     bool stalledFull_ = false;
     bool stalledRetry_ = false;
     bool fencePending_ = false;
+    bool priority_ = false;
     bool finished_ = true;
     Tick finishTick_{0};
     Tick stallStart_{0};

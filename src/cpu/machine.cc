@@ -243,6 +243,16 @@ Machine::startOnCore(unsigned c, const AccessPlan &plan,
     cores_[c]->start(plan, std::move(on_finish));
 }
 
+void
+Machine::startOnCore(unsigned c, const AccessPlan &plan, bool priority,
+                     util::UniqueFunction<void(Tick)> on_finish)
+{
+    if (c >= cores_.size())
+        rcnvm_fatal("startOnCore: core ", c, " of ", cores_.size());
+    cores_[c]->setPriority(priority);
+    startOnCore(c, plan, std::move(on_finish));
+}
+
 RunResult
 Machine::serve()
 {

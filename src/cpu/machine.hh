@@ -146,6 +146,15 @@ class Machine
                      util::UniqueFunction<void(Tick)> on_finish);
 
     /**
+     * As startOnCore, additionally marking every access of this plan
+     * as latency-class traffic (@p priority) — see Core::setPriority.
+     * Dispatchers use this to flag OLTP-class work so the
+     * read-priority channel policy can serve it first.
+     */
+    void startOnCore(unsigned c, const AccessPlan &plan, bool priority,
+                     util::UniqueFunction<void(Tick)> on_finish);
+
+    /**
      * Run the event loop until it drains, then snapshot statistics
      * exactly like run(). Callers are responsible for having seeded
      * the queue (arrival events, startOnCore) and for terminating

@@ -1,5 +1,7 @@
 #include "imdb/table.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace rcnvm::imdb {
@@ -21,6 +23,28 @@ Table::Table(std::string name, Schema schema, std::uint64_t tuples,
                 rng.nextBounded(valueRange));
         }
     }
+
+    // Chunk min/max summaries, computed after generation so the RNG
+    // draw sequence (and therefore every seeded golden) is untouched.
+    chunkStats_.resize(columns_.size());
+    for (unsigned f = 0; f < columns_.size(); ++f) {
+        const auto &col = columns_[f];
+        if (col.empty())
+            continue;
+        auto &stats = chunkStats_[f];
+        stats.resize(chunkCount());
+        for (unsigned c = 0; c < stats.size(); ++c) {
+            const std::uint64_t t0 = std::uint64_t{c} * chunkTuples;
+            const std::uint64_t t1 =
+                std::min<std::uint64_t>(t0 + chunkTuples, tuples_);
+            ChunkMinMax mm{col[t0], col[t0]};
+            for (std::uint64_t t = t0 + 1; t < t1; ++t) {
+                mm.min = std::min(mm.min, col[t]);
+                mm.max = std::max(mm.max, col[t]);
+            }
+            stats[c] = mm;
+        }
+    }
 }
 
 std::int64_t
@@ -29,6 +53,38 @@ Table::value(unsigned f, std::uint64_t t) const
     if (f >= columns_.size() || columns_[f].empty())
         rcnvm_fatal(name_, ": field ", f, " has no numeric values");
     return columns_[f][t];
+}
+
+void
+Table::setValue(unsigned f, std::uint64_t t, std::int64_t v)
+{
+    if (f >= columns_.size() || columns_[f].empty())
+        rcnvm_fatal(name_, ": field ", f, " has no numeric values");
+    if (t >= tuples_)
+        rcnvm_fatal(name_, ": tuple ", t, " of ", tuples_);
+    columns_[f][t] = v;
+    ChunkMinMax &mm =
+        chunkStats_[f][static_cast<unsigned>(t / chunkTuples)];
+    mm.min = std::min(mm.min, v);
+    mm.max = std::max(mm.max, v);
+}
+
+unsigned
+Table::chunkCount() const
+{
+    return static_cast<unsigned>((tuples_ + chunkTuples - 1) /
+                                 chunkTuples);
+}
+
+Table::ChunkMinMax
+Table::chunkStats(unsigned f, unsigned chunk) const
+{
+    if (f >= chunkStats_.size() || chunkStats_[f].empty())
+        rcnvm_fatal(name_, ": field ", f, " has no chunk statistics");
+    if (chunk >= chunkStats_[f].size())
+        rcnvm_fatal(name_, ": chunk ", chunk, " of ",
+                    chunkStats_[f].size());
+    return chunkStats_[f][chunk];
 }
 
 std::int64_t

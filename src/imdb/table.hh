@@ -28,6 +28,17 @@ class Table
     /** Value domain used by the generator. */
     static constexpr std::int64_t valueRange = 100000;
 
+    /** Tuples summarised by one chunk-statistics entry. Matches
+     *  Database::chunkTuples so a pruned statistics chunk maps onto
+     *  exactly one placed chunk of the bin packer. */
+    static constexpr unsigned chunkTuples = 1024;
+
+    /** Min/max summary of one field over one chunk of tuples. */
+    struct ChunkMinMax {
+        std::int64_t min = 0;
+        std::int64_t max = 0;
+    };
+
     /**
      * @param name    table name ("table-a", ...)
      * @param schema  field layout
@@ -43,6 +54,25 @@ class Table
 
     /** Value of 8-byte field @p f in tuple @p t. */
     std::int64_t value(unsigned f, std::uint64_t t) const;
+
+    /**
+     * Overwrite the value of 8-byte field @p f in tuple @p t,
+     * widening the chunk's min/max summary so pruning stays sound
+     * (a summary may overstate the range after updates — that only
+     * costs a scanned chunk, never a wrong result).
+     */
+    void setValue(unsigned f, std::uint64_t t, std::int64_t v);
+
+    /** Number of chunk-statistics entries per field. */
+    unsigned chunkCount() const;
+
+    /**
+     * Min/max of 8-byte field @p f over chunk @p chunk (tuples
+     * [chunk * chunkTuples, min((chunk+1) * chunkTuples, tuples))).
+     * The plan optimizer consults these to skip chunks no tuple of
+     * which can satisfy a scan predicate.
+     */
+    ChunkMinMax chunkStats(unsigned f, unsigned chunk) const;
 
     /**
      * Threshold x such that roughly @p selectivity of tuples
@@ -68,6 +98,8 @@ class Table
     std::uint64_t tuples_;
     /** columns_[field][tuple]; empty for wide fields. */
     std::vector<std::vector<std::int64_t>> columns_;
+    /** chunkStats_[field][chunk]; empty for wide fields. */
+    std::vector<std::vector<ChunkMinMax>> chunkStats_;
 };
 
 } // namespace rcnvm::imdb

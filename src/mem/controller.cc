@@ -285,7 +285,9 @@ ChannelController::trySchedule()
                 headReadyAt = readyAt;
             }
             if (readyAt <= now) {
-                policy_->offer({b, 0, front.seq, la.hit});
+                policy_->offer({b, 0, front.seq, la.hit,
+                                front.req.isWrite,
+                                front.req.priority});
             } else if (readyAt < nextWake) {
                 nextWake = readyAt;
             }
@@ -299,7 +301,8 @@ ChannelController::trySchedule()
                 if (hitReady <= now) {
                     policy_->offer(
                         {b, static_cast<std::size_t>(bq.hitPos),
-                         h.seq, true});
+                         h.seq, true, h.req.isWrite,
+                         h.req.priority});
                 } else if (hitReady < nextWake) {
                     nextWake = hitReady;
                 }

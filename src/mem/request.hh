@@ -33,6 +33,12 @@ struct MemPacket {
     Orientation orient = Orientation::Row;
     bool isWrite = false;
     bool gathered = false;
+    /** Latency-class traffic (OLTP-class requests): the read-
+     *  priority scheduler policy lets reads carrying this flag
+     *  bypass queued writes, bounded by the controller's global
+     *  starvation cap. Internal traffic (write-backs) never sets
+     *  it. */
+    bool priority = false;
 
     /** Set the (addr, orient) pair from a statically-oriented
      *  address; the fields cannot disagree. */

@@ -92,6 +92,44 @@ class FcfsPolicy final : public SchedulerPolicy
     std::uint64_t bestSeq_ = noSeq;
 };
 
+/**
+ * Two-tier FR-FCFS: reads carrying the OLTP-class priority flag form
+ * the upper tier and are ranked FR-FCFS among themselves; everything
+ * else (writes, plain reads) competes in the lower tier only when no
+ * priority read is ready. Starvation of the lower tier is bounded by
+ * the controller's mechanism-side starvation cap, not by the policy.
+ */
+class ReadPriorityPolicy final : public SchedulerPolicy
+{
+  public:
+    const char *name() const override { return "readpri"; }
+
+    void begin() override
+    {
+        pri_.begin();
+        rest_.begin();
+    }
+
+    void offer(const SchedCandidate &c) override
+    {
+        if (c.priority && !c.isWrite)
+            pri_.offer(c);
+        else
+            rest_.offer(c);
+    }
+
+    bool choose(SchedCandidate &out) const override
+    {
+        if (pri_.choose(out))
+            return true;
+        return rest_.choose(out);
+    }
+
+  private:
+    FrFcfsPolicy pri_;
+    FrFcfsPolicy rest_;
+};
+
 } // namespace
 
 const char *
@@ -102,6 +140,8 @@ toString(SchedPolicyKind kind)
         return "frfcfs";
       case SchedPolicyKind::Fcfs:
         return "fcfs";
+      case SchedPolicyKind::ReadPriority:
+        return "readpri";
     }
     rcnvm_panic("unknown scheduler policy kind");
 }
@@ -117,6 +157,10 @@ parseSchedPolicy(std::string_view s, SchedPolicyKind &out)
         out = SchedPolicyKind::Fcfs;
         return true;
     }
+    if (s == "readpri" || s == "read-priority") {
+        out = SchedPolicyKind::ReadPriority;
+        return true;
+    }
     return false;
 }
 
@@ -128,6 +172,8 @@ makeSchedulerPolicy(SchedPolicyKind kind)
         return std::make_unique<FrFcfsPolicy>();
       case SchedPolicyKind::Fcfs:
         return std::make_unique<FcfsPolicy>();
+      case SchedPolicyKind::ReadPriority:
+        return std::make_unique<ReadPriorityPolicy>();
     }
     rcnvm_panic("unknown scheduler policy kind");
 }

@@ -27,15 +27,18 @@ struct SchedCandidate {
     std::size_t pos = 0;   //!< position in the bank's FIFO
     std::uint64_t seq = 0; //!< global arrival order
     bool hit = false;      //!< hits the bank's currently open buffer
+    bool isWrite = false;  //!< request is a store / write-back
+    bool priority = false; //!< OLTP-class (latency-critical) packet
 };
 
 /** Which selection policy a controller should construct. */
 enum class SchedPolicyKind {
-    FrFcfs, //!< first-ready FCFS (default; Rixner et al.)
-    Fcfs,   //!< strict arrival order, no hit-first reordering
+    FrFcfs,       //!< first-ready FCFS (default; Rixner et al.)
+    Fcfs,         //!< strict arrival order, no hit-first reordering
+    ReadPriority, //!< OLTP-class reads bypass queued writes
 };
 
-/** Stable lowercase name ("frfcfs", "fcfs"). */
+/** Stable lowercase name ("frfcfs", "fcfs", "readpri"). */
 const char *toString(SchedPolicyKind kind);
 
 /** Parse a policy name; false when @p s names no policy. */

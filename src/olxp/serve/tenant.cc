@@ -1,0 +1,21 @@
+#include "olxp/serve/tenant.hh"
+
+#include "util/logging.hh"
+
+namespace rcnvm::olxp::serve {
+
+const char *
+toString(TenantClass cls)
+{
+    switch (cls) {
+      case TenantClass::OltpLatency:
+        return "oltp";
+      case TenantClass::OlapThroughput:
+        return "olap";
+      case TenantClass::Background:
+        return "background";
+    }
+    rcnvm_panic("unknown tenant class");
+}
+
+} // namespace rcnvm::olxp::serve

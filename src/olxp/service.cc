@@ -56,6 +56,7 @@ QueryScheduler::registerStats()
     r.addCounter("olxp.olapCompleted", olapCompleted_);
     r.addCounter("olxp.oltpRejected", oltpRejected_);
     r.addCounter("olxp.olapRejected", olapRejected_);
+    r.addCounter("olxp.olapResubmitDenied", olapResubmitDenied_);
     r.addGauge("olxp.queuePeak", [this] {
         return static_cast<double>(queuePeak_);
     });
@@ -82,20 +83,21 @@ QueryScheduler::run()
     sim::EventQueue &eq = machine_.eventQueue();
 
     // Closed-loop background first: each stream's initial scan is on
-    // the machine from tick zero.
+    // the machine from tick zero. Streams beyond the run-queue bound
+    // park (the same admission every later resubmission passes).
     for (unsigned s = 0; s < cfg_.olapStreams; ++s) {
         olapGenerated_.inc();
-        enqueue(olapGen_.make(eq.now()));
+        admitOlap(olapGen_.make(eq.now()));
     }
     dispatch();
     scheduleNextOltpArrival();
 
     cpu::RunResult rr = machine_.serve();
 
-    if (!queue_.empty() || inFlightCount_ != 0)
+    if (!queue_.empty() || !parkedOlap_.empty() || inFlightCount_ != 0)
         rcnvm_panic("service drain left ", queue_.size(),
-                    " queued and ", inFlightCount_,
-                    " in-flight requests");
+                    " queued, ", parkedOlap_.size(), " parked, and ",
+                    inFlightCount_, " in-flight requests");
 
     ServiceResult result;
     result.run = std::move(rr);
@@ -105,6 +107,7 @@ QueryScheduler::run()
     result.olapGenerated = olapGenerated_.value();
     result.olapCompleted = olapCompleted_.value();
     result.olapRejected = olapRejected_.value();
+    result.olapResubmitDenied = olapResubmitDenied_.value();
     result.oltpP50 = oltpLatency_.percentile(0.50);
     result.oltpP95 = oltpLatency_.percentile(0.95);
     result.oltpP99 = oltpLatency_.percentile(0.99);
@@ -150,6 +153,30 @@ QueryScheduler::enqueue(Request request)
 {
     queue_.push_back(std::move(request));
     queuePeak_ = std::max(queuePeak_, queue_.size());
+}
+
+void
+QueryScheduler::admitOlap(Request request)
+{
+    // Parked requests are older; admitting around them would reorder
+    // the stream. Deny whenever any request is already waiting.
+    if (parkedOlap_.empty() &&
+        queue_.size() < cfg_.runQueueCapacity) {
+        enqueue(std::move(request));
+        return;
+    }
+    olapResubmitDenied_.inc();
+    parkedOlap_.push_back(std::move(request));
+}
+
+void
+QueryScheduler::admitParked()
+{
+    while (!parkedOlap_.empty() &&
+           queue_.size() < cfg_.runQueueCapacity) {
+        enqueue(std::move(parkedOlap_.front()));
+        parkedOlap_.pop_front();
+    }
 }
 
 void
@@ -199,10 +226,14 @@ QueryScheduler::onComplete(unsigned core, Tick finish)
 
     if (cls == RequestClass::Olap &&
         machine_.eventQueue().now() < cfg_.horizon) {
-        // Closed loop: the stream's next scan replaces this one.
+        // Closed loop: the stream's next scan replaces this one —
+        // through admission like everything else (a completion just
+        // freed capacity, so liveness is guaranteed: every later
+        // completion re-attempts the parked backlog below).
         olapGenerated_.inc();
-        enqueue(olapGen_.make(machine_.eventQueue().now()));
+        admitOlap(olapGen_.make(machine_.eventQueue().now()));
     }
+    admitParked();
     dispatch();
 }
 

@@ -75,6 +75,9 @@ struct ServiceResult {
     std::uint64_t olapGenerated = 0;
     std::uint64_t olapCompleted = 0;
     std::uint64_t olapRejected = 0; //!< always 0 (closed loop)
+    /** Closed-loop OLAP (re)submissions that found the run queue
+     *  full and were parked until a slot freed (never dropped). */
+    std::uint64_t olapResubmitDenied = 0;
 
     double oltpP50 = 0, oltpP95 = 0, oltpP99 = 0; //!< ticks
     double olapP50 = 0, olapP95 = 0, olapP99 = 0; //!< ticks
@@ -147,13 +150,31 @@ class QueryScheduler
     /** Open-loop rejects so far. */
     std::uint64_t rejected() const { return oltpRejected_.value(); }
 
+    /** Closed-loop (re)submissions denied admission and parked. */
+    std::uint64_t resubmitDenied() const
+    {
+        return olapResubmitDenied_.value();
+    }
+
+    /** OLAP requests currently parked awaiting a queue slot. */
+    std::size_t parkedCount() const { return parkedOlap_.size(); }
+
   private:
     void registerStats();
     void scheduleNextOltpArrival();
     void onOltpArrival();
-    /** Enqueue bypassing admission (closed-loop resubmission: the
-     *  stream count bounds these at olapStreams). */
+    /** Append to the run queue (capacity already checked). */
     void enqueue(Request request);
+    /**
+     * Closed-loop admission: enqueue when the run queue has a slot,
+     * otherwise park the request (counted as a resubmit denial) —
+     * closed-loop work is deferred, never dropped, so a saturated
+     * OLAP tenant waits instead of overflowing the bound that
+     * open-loop arrivals are rejected against.
+     */
+    void admitOlap(Request request);
+    /** Move parked OLAP requests into freed run-queue slots. */
+    void admitParked();
     /** Start queued requests on idle cores until one side runs out. */
     void dispatch();
     void onComplete(unsigned core, Tick finish);
@@ -164,6 +185,8 @@ class QueryScheduler
     OlapGenerator olapGen_;
 
     std::deque<Request> queue_;
+    /** Closed-loop requests denied admission, in denial order. */
+    std::deque<Request> parkedOlap_;
     std::vector<std::optional<Request>> executing_; //!< per core
     unsigned inFlightCount_ = 0;
     std::size_t queuePeak_ = 0;
@@ -176,6 +199,7 @@ class QueryScheduler
     util::Counter olapCompleted_;
     util::Counter oltpRejected_;
     util::Counter olapRejected_; //!< stays 0; exported for symmetry
+    util::Counter olapResubmitDenied_;
 };
 
 } // namespace rcnvm::olxp

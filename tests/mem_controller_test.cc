@@ -269,6 +269,69 @@ TEST(Controller, FcfsPolicyServesArrivalOrder)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(Controller, ReadPriorityServesOltpReadsFirst)
+{
+    // The FrFcfsPrefersBufferHit scenario with one twist: the older
+    // conflicting request carries the OLTP-class priority flag.
+    // Plain FR-FCFS lets the younger open-row hits bypass it; the
+    // read-priority policy serves the flagged read the moment the
+    // bank frees, ahead of every unflagged hit.
+    Fixture f;
+    ChannelController ctrl(f.map, f.timing, f.eq, 32, false, 0,
+                           SchedPolicyKind::ReadPriority);
+    EXPECT_STREQ(ctrl.policy().name(), "readpri");
+    std::vector<int> order;
+    ctrl.enqueue(makeReq(f.map, 0, 0, 5, 0, Orientation::Row,
+                         [&](Tick) { order.push_back(0); }));
+    f.eq.run();
+    // This hit issues immediately and occupies the bank; the flagged
+    // conflict and a younger plain hit queue up behind it.
+    ctrl.enqueue(makeReq(f.map, 0, 0, 5, 8, Orientation::Row,
+                         [&](Tick) { order.push_back(1); }));
+    MemRequest pri = makeReq(f.map, 0, 0, 9, 0, Orientation::Row,
+                             [&](Tick) { order.push_back(2); });
+    pri.priority = true;
+    ctrl.enqueue(std::move(pri));
+    ctrl.enqueue(makeReq(f.map, 0, 0, 5, 16, Orientation::Row,
+                         [&](Tick) { order.push_back(3); }));
+    f.eq.run();
+    ASSERT_EQ(order.size(), 4u);
+    // FR-FCFS would serve the younger hit (3) before the conflict
+    // (2); the flagged read goes first.
+    EXPECT_EQ(order[2], 2);
+    EXPECT_EQ(order[3], 3);
+}
+
+TEST(Controller, ReadPriorityDoesNotPromoteWrites)
+{
+    // Only latency-class *reads* ride the upper tier: a write
+    // carrying the flag (which real issuers never produce, but the
+    // policy must not depend on that) competes in the lower tier,
+    // where a younger open-row read hit still bypasses it.
+    Fixture f;
+    ChannelController ctrl(f.map, f.timing, f.eq, 32, false, 0,
+                           SchedPolicyKind::ReadPriority);
+    std::vector<int> order;
+    ctrl.enqueue(makeReq(f.map, 0, 0, 5, 0, Orientation::Row,
+                         [&](Tick) { order.push_back(0); }));
+    f.eq.run();
+    // Occupy the bank with a hit, then queue the flagged write and a
+    // younger plain hit: the hit must still bypass the write.
+    ctrl.enqueue(makeReq(f.map, 0, 0, 5, 8, Orientation::Row,
+                         [&](Tick) { order.push_back(1); }));
+    MemRequest w = makeReq(f.map, 0, 0, 9, 0, Orientation::Row,
+                           [&](Tick) { order.push_back(2); });
+    w.isWrite = true;
+    w.priority = true;
+    ctrl.enqueue(std::move(w));
+    ctrl.enqueue(makeReq(f.map, 0, 0, 5, 16, Orientation::Row,
+                         [&](Tick) { order.push_back(3); }));
+    f.eq.run();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[2], 3); // the hit bypassed the flagged write
+    EXPECT_EQ(order[3], 2);
+}
+
 TEST(Controller, SchedPolicyParsesNames)
 {
     SchedPolicyKind kind;
@@ -278,9 +341,14 @@ TEST(Controller, SchedPolicyParsesNames)
     EXPECT_EQ(kind, SchedPolicyKind::FrFcfs);
     EXPECT_TRUE(parseSchedPolicy("fcfs", kind));
     EXPECT_EQ(kind, SchedPolicyKind::Fcfs);
+    EXPECT_TRUE(parseSchedPolicy("readpri", kind));
+    EXPECT_EQ(kind, SchedPolicyKind::ReadPriority);
+    EXPECT_TRUE(parseSchedPolicy("read-priority", kind));
+    EXPECT_EQ(kind, SchedPolicyKind::ReadPriority);
     EXPECT_FALSE(parseSchedPolicy("lifo", kind));
     EXPECT_STREQ(toString(SchedPolicyKind::FrFcfs), "frfcfs");
     EXPECT_STREQ(toString(SchedPolicyKind::Fcfs), "fcfs");
+    EXPECT_STREQ(toString(SchedPolicyKind::ReadPriority), "readpri");
 }
 
 TEST(Controller, TracksOrientationSwitches)

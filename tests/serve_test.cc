@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for the serving subsystem (DESIGN.md 4i): plan-optimizer
+ * correctness — pruned and unpruned plans must produce identical
+ * query results on Table-2-shaped and randomized predicates, and the
+ * optimizer-off path must be byte-identical to a direct PlanBuilder
+ * compilation (the pre-optimizer golden) — plus tenant admission,
+ * shared-scan accounting, the SLO control loop, and end-to-end
+ * determinism of a serving run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "imdb/plan_builder.hh"
+#include "olxp/serve/serve_scheduler.hh"
+#include "util/random.hh"
+#include "util/stats_io.hh"
+#include "workload/tables.hh"
+
+namespace rcnvm::olxp::serve {
+namespace {
+
+constexpr std::uint64_t kTuples = 8192; // 8 summary chunks
+constexpr std::uint64_t kSeed = 99;
+
+/** One placed database shared by every test (placement is pure; the
+ *  placed Database keeps a pointer to its static map). */
+const workload::PlacedDatabase &
+placedDb()
+{
+    static const workload::TableSet tables =
+        workload::TableSet::standard(kTuples, 256, kSeed);
+    static const workload::QueryWorkload workload(tables);
+    static const mem::AddressMap map(
+        mem::geometryFor(mem::DeviceKind::RcNvm));
+    static const workload::PlacedDatabase pd =
+        workload.place(mem::DeviceKind::RcNvm, map);
+    return pd;
+}
+
+cpu::MachineConfig
+serveMachine()
+{
+    cpu::MachineConfig config;
+    config.device = mem::DeviceKind::RcNvm;
+    config.seed = kSeed;
+    return config;
+}
+
+/** Byte-level plan equality (MemOp has no operator==). */
+bool
+samePlan(const cpu::AccessPlan &a, const cpu::AccessPlan &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].kind != b[i].kind || a[i].addr != b[i].addr ||
+            a[i].bytes != b[i].bytes ||
+            a[i].computeCycles != b[i].computeCycles ||
+            a[i].pinOrient != b[i].pinOrient)
+            return false;
+    }
+    return true;
+}
+
+/** A threshold hitting roughly @p sel of the uniform value domain
+ *  for the given operator. */
+std::int64_t
+thresholdFor(PredOp op, double sel)
+{
+    const double range = static_cast<double>(imdb::Table::valueRange);
+    return op == PredOp::Greater
+               ? static_cast<std::int64_t>(range * (1.0 - sel))
+               : static_cast<std::int64_t>(range * sel);
+}
+
+/**
+ * The Table-2 suite reduced to the serving layer's scan form: one
+ * aggregate scan per query at that query's predicate selectivity
+ * (QueryWorkload::Params defaults), over the fields the query
+ * touches. Joins/updates/group-caching queries contribute their scan
+ * phase's shape — the optimizer only ever sees scans.
+ */
+std::vector<ScanQuery>
+tableTwoShapedQueries()
+{
+    const workload::PlacedDatabase &pd = placedDb();
+    const std::uint64_t n = pd.db->table(pd.a).tuples();
+    struct Shape {
+        unsigned pred, agg;
+        PredOp op;
+        double sel;
+        std::vector<unsigned> touched;
+    };
+    const std::vector<Shape> shapes = {
+        {0, 1, PredOp::Greater, 0.10, {0, 1}},          // Q1
+        {10, 1, PredOp::Greater, 0.05, {10, 1}},        // Q2
+        {10, 1, PredOp::Greater, 0.90, {10, 1}},        // Q3
+        {2, 3, PredOp::Less, 0.50, {2, 3}},             // Q4
+        {0, 4, PredOp::Greater, 0.50, {0, 1, 2, 3, 4}}, // Q5
+        {1, 5, PredOp::Less, 0.50, {1, 5, 6}},          // Q6
+        {3, 7, PredOp::Greater, 0.50, {3, 7}},          // Q7
+        {0, 0, PredOp::Greater, 0.50, {0}},             // Q8 (join build)
+        {1, 0, PredOp::Less, 0.50, {0, 1}},             // Q9 (join probe)
+        {4, 5, PredOp::Greater, 0.30, {4, 5}},          // Q10
+        {6, 7, PredOp::Less, 0.30, {6, 7}},             // Q11
+        {8, 9, PredOp::Greater, 0.01, {8, 9}},          // Q12
+        {9, 8, PredOp::Less, 0.05, {8, 9}},             // Q13
+        {0, 2, PredOp::Greater, 0.25, {0, 1, 2, 3}},    // Q14 (ordered)
+        {1, 3, PredOp::Less, 0.25, {0, 1, 2, 3}},       // Q15 (ordered)
+    };
+    std::vector<ScanQuery> out;
+    for (const Shape &s : shapes) {
+        ScanQuery q;
+        q.table = pd.a;
+        q.predField = s.pred;
+        q.aggField = s.agg;
+        q.op = s.op;
+        q.threshold = thresholdFor(s.op, s.sel);
+        q.t0 = 0;
+        q.t1 = n;
+        q.touchedFields = s.touched;
+        out.push_back(q);
+    }
+    return out;
+}
+
+/** Reference evaluation straight off the table, no optimizer. */
+ScanResult
+referenceScan(const ScanQuery &q)
+{
+    const imdb::Table &t = placedDb().db->table(q.table);
+    ScanResult r;
+    for (std::uint64_t i = q.t0; i < q.t1; ++i) {
+        const std::int64_t v = t.value(q.predField, i);
+        const bool hit = q.op == PredOp::Greater ? v > q.threshold
+                                                 : v < q.threshold;
+        if (hit) {
+            ++r.matches;
+            r.sum += t.value(q.aggField, i);
+        }
+    }
+    return r;
+}
+
+TEST(OptimizerTest, TableTwoShapesPrunedEqualsUnpruned)
+{
+    PlanOptimizer on(placedDb(), true);
+    PlanOptimizer off(placedDb(), false);
+    for (const ScanQuery &q : tableTwoShapedQueries()) {
+        const ScanResult a = on.evaluate(q);
+        const ScanResult b = off.evaluate(q);
+        EXPECT_EQ(a, b) << "pred f" << q.predField << " thr "
+                        << q.threshold;
+        EXPECT_EQ(b, referenceScan(q));
+        // Compile both ways too: build() drives the pruning
+        // counters and must accept every suite shape.
+        on.build(q);
+        off.build(q);
+    }
+    // Chunk accounting closes: every chunk the on-path skipped was
+    // scanned by the off-path, never silently lost.
+    EXPECT_EQ(on.chunksScanned().value() + on.chunksPruned().value(),
+              off.chunksScanned().value());
+}
+
+TEST(OptimizerTest, RandomizedPredicatesPrunedEqualsUnpruned)
+{
+    PlanOptimizer on(placedDb(), true);
+    PlanOptimizer off(placedDb(), false);
+    const imdb::Table &t = placedDb().db->table(placedDb().a);
+    const unsigned pool = t.schema().tupleWords();
+    util::Random rng(kSeed);
+    for (unsigned i = 0; i < 256; ++i) {
+        ScanQuery q;
+        q.table = placedDb().a;
+        q.predField = static_cast<unsigned>(rng.nextBounded(pool));
+        q.aggField = static_cast<unsigned>(rng.nextBounded(pool));
+        q.op = rng.nextBool(0.5) ? PredOp::Greater : PredOp::Less;
+        q.threshold = static_cast<std::int64_t>(
+            rng.nextBounded(static_cast<std::uint64_t>(
+                imdb::Table::valueRange)));
+        // Random sub-ranges exercise partially covered edge chunks.
+        q.t0 = rng.nextBounded(kTuples - 1);
+        q.t1 = q.t0 + 1 + rng.nextBounded(kTuples - q.t0 - 1);
+        const ScanResult a = on.evaluate(q);
+        EXPECT_EQ(a, off.evaluate(q));
+        EXPECT_EQ(a, referenceScan(q));
+        on.build(q);
+        off.build(q);
+    }
+    // Uniform thresholds rarely prune (a 1024-tuple chunk's min/max
+    // spans nearly the whole domain), so add an edge-band batch —
+    // the serving mix's selective outlier lookups — to make sure the
+    // equality above is exercised on plans that really prune.
+    for (unsigned i = 0; i < 64; ++i) {
+        ScanQuery q;
+        q.table = placedDb().a;
+        q.predField = static_cast<unsigned>(rng.nextBounded(pool));
+        q.aggField = static_cast<unsigned>(rng.nextBounded(pool));
+        const std::int64_t off_edge =
+            static_cast<std::int64_t>(rng.nextBounded(64));
+        if (rng.nextBool(0.5)) {
+            q.op = PredOp::Greater;
+            q.threshold = imdb::Table::valueRange - 1 - off_edge;
+        } else {
+            q.op = PredOp::Less;
+            q.threshold = off_edge + 1;
+        }
+        q.t0 = rng.nextBounded(kTuples - 1);
+        q.t1 = q.t0 + 1 + rng.nextBounded(kTuples - q.t0 - 1);
+        const ScanResult a = on.evaluate(q);
+        EXPECT_EQ(a, off.evaluate(q));
+        EXPECT_EQ(a, referenceScan(q));
+        on.build(q);
+        off.build(q);
+    }
+    EXPECT_EQ(on.chunksScanned().value() + on.chunksPruned().value(),
+              off.chunksScanned().value());
+    EXPECT_GT(on.chunksPruned().value(), 0u);
+}
+
+TEST(OptimizerTest, OffPathIsByteIdenticalToDirectPlanBuilder)
+{
+    // The pre-optimizer golden: with the optimizer off, build()
+    // must emit exactly the plan a direct PlanBuilder client (the
+    // PR-1/PR-2 code path) would compile for the same scan.
+    PlanOptimizer off(placedDb(), false);
+    for (const ScanQuery &q : tableTwoShapedQueries()) {
+        imdb::PlanBuilder b(*placedDb().db);
+        bool first = true;
+        for (const unsigned f : q.touchedFields) {
+            const unsigned cost = first ? b.costs().compare
+                                        : b.costs().aggregate;
+            b.scanFieldWord(q.table, f, q.t0, q.t1, cost);
+            first = false;
+        }
+        EXPECT_TRUE(samePlan(off.build(q), b.take()));
+    }
+    EXPECT_EQ(off.chunksPruned().value(), 0u);
+    EXPECT_EQ(off.colsPruned().value(), 0u);
+}
+
+TEST(OptimizerTest, DeadColumnsArePruned)
+{
+    PlanOptimizer on(placedDb(), true);
+    ScanQuery q;
+    q.table = placedDb().a;
+    q.predField = 0;
+    q.aggField = 1;
+    q.op = PredOp::Greater;
+    q.threshold = 0; // nothing prunable: isolate column pruning
+    q.t0 = 0;
+    q.t1 = imdb::Table::chunkTuples;
+    q.touchedFields = {0, 1, 2, 3};
+    const cpu::AccessPlan pruned = on.build(q);
+    EXPECT_EQ(on.colsPruned().value(), 2u); // f2, f3 dead
+
+    PlanOptimizer off(placedDb(), false);
+    const cpu::AccessPlan full = off.build(q);
+    EXPECT_LT(pruned.size(), full.size());
+}
+
+// ---------------------------------------------------------------
+// Scheduler-level behaviour.
+// ---------------------------------------------------------------
+
+TenantConfig
+smallOlap(unsigned streams)
+{
+    TenantConfig tc;
+    tc.name = "olap";
+    tc.cls = TenantClass::OlapThroughput;
+    tc.streams = streams;
+    tc.segmentTuples = 512;
+    tc.segmentParallelism = 2;
+    return tc;
+}
+
+ServeConfig
+cappedConfig(std::uint64_t segments)
+{
+    ServeConfig cfg;
+    cfg.slo = false;
+    cfg.horizon = Tick{1000000000000};
+    cfg.maxSegmentsPerGroup = segments;
+    cfg.seed = kSeed;
+    return cfg;
+}
+
+TEST(ServeSchedulerTest, OptimizerOnAndOffRunsAreResultIdentical)
+{
+    // The bench's identity pair at test scale: a capped cursor
+    // executes the same segment sequence whatever the timing, so the
+    // optimizer-on and -off runs must agree checksum for checksum
+    // while the on-run actually prunes.
+    const auto runOnce = [](bool optimizer) {
+        cpu::Machine machine(serveMachine());
+        ServeConfig cfg = cappedConfig(8);
+        cfg.optimizer = optimizer;
+        cfg.tenants = {smallOlap(16)};
+        ServeScheduler sched(machine, placedDb(), cfg);
+        return sched.run();
+    };
+    const ServeResult on = runOnce(true);
+    const ServeResult off = runOnce(false);
+    EXPECT_EQ(on.scanChecksum, off.scanChecksum);
+    EXPECT_EQ(on.segmentsCompleted, off.segmentsCompleted);
+    EXPECT_EQ(on.segmentsCompleted, 8u);
+    EXPECT_GT(on.chunksPruned, 0u);
+    EXPECT_EQ(off.chunksPruned, 0u);
+    // Pruning buys work: the pruned run retires fewer memory ops.
+    EXPECT_LT(on.run.ticks, off.run.ticks);
+}
+
+TEST(ServeSchedulerTest, SharedCursorCreditsEveryStream)
+{
+    cpu::Machine machine(serveMachine());
+    ServeConfig cfg = cappedConfig(6);
+    cfg.tenants = {smallOlap(100)};
+    ServeScheduler sched(machine, placedDb(), cfg);
+    const ServeResult r = sched.run();
+    // 100 streams share one cursor: each completed segment credits
+    // all of them, at one scan's worth of actual traffic.
+    EXPECT_EQ(r.segmentsCompleted, 6u);
+    EXPECT_EQ(r.streamScans, 600u);
+}
+
+TEST(ServeSchedulerTest, MeteredBackfillParksButNeverDrops)
+{
+    cpu::Machine machine(serveMachine());
+    ServeConfig cfg = cappedConfig(8);
+    TenantConfig maint = smallOlap(4);
+    maint.name = "maint";
+    maint.cls = TenantClass::Background;
+    // A bucket far below the segment rate: admission must deny and
+    // park most segments, then retry them deterministically.
+    maint.tokensPerMTick = 0.5;
+    maint.tokenBurst = 1.0;
+    cfg.tenants = {maint};
+    ServeScheduler sched(machine, placedDb(), cfg);
+    const ServeResult r = sched.run();
+    EXPECT_GT(r.backfillDenied, 0u);
+    EXPECT_EQ(r.segmentsCompleted, 8u); // deferred, never dropped
+    EXPECT_EQ(sched.parkedCount(), 0u);
+}
+
+TEST(ServeSchedulerTest, SloLoopShedsBackfillUnderBreach)
+{
+    cpu::Machine machine(serveMachine());
+    ServeConfig cfg;
+    cfg.seed = kSeed;
+    cfg.horizon = Tick{4000000};
+    cfg.slo = true;
+    cfg.sloTarget = Tick{1}; // unmeetable: every window breaches
+    cfg.sloPeriod = Tick{100000};
+    TenantConfig oltp;
+    oltp.name = "oltp";
+    oltp.cls = TenantClass::OltpLatency;
+    oltp.oltpInterArrival = Tick{20000};
+    cfg.tenants = {oltp, smallOlap(8)};
+    ServeScheduler sched(machine, placedDb(), cfg);
+    const ServeResult r = sched.run();
+    EXPECT_GT(r.sloBreaches, 0u);
+    // The loop shed backfill down to the floor and, with every
+    // window breaching, never grew it back.
+    EXPECT_EQ(sched.backfillSlots(), cfg.backfillFloor);
+}
+
+TEST(ServeSchedulerTest, SloOffLetsBackfillKeepItsSlots)
+{
+    cpu::Machine machine(serveMachine());
+    ServeConfig cfg;
+    cfg.seed = kSeed;
+    cfg.horizon = Tick{4000000};
+    cfg.slo = false;
+    TenantConfig oltp;
+    oltp.name = "oltp";
+    oltp.cls = TenantClass::OltpLatency;
+    oltp.oltpInterArrival = Tick{20000};
+    cfg.tenants = {oltp, smallOlap(8)};
+    ServeScheduler sched(machine, placedDb(), cfg);
+    const ServeResult r = sched.run();
+    EXPECT_EQ(r.sloBreaches, 0u);
+    // Unprotected: backfill may fill every core.
+    EXPECT_EQ(sched.backfillSlots(), machine.coreCount());
+}
+
+TEST(ServeSchedulerTest, ServeStatsLandInTheMachineSnapshot)
+{
+    cpu::Machine machine(serveMachine());
+    ServeConfig cfg = cappedConfig(4);
+    cfg.tenants = {smallOlap(10)};
+    ServeScheduler sched(machine, placedDb(), cfg);
+    const ServeResult r = sched.run();
+    const util::StatsMap &s = r.run.stats;
+    EXPECT_EQ(s.get("serve.segmentsCompleted"),
+              static_cast<double>(r.segmentsCompleted));
+    EXPECT_EQ(s.get("serve.streamScans"),
+              static_cast<double>(r.streamScans));
+    EXPECT_EQ(s.get("serve.chunksPruned"),
+              static_cast<double>(r.chunksPruned));
+    EXPECT_EQ(s.get("serve.scanMatches"),
+              static_cast<double>(r.scanChecksum.matches));
+    // Per-tenant counters are registered under dynamic names built
+    // from the tenant's configured name; assemble it the same way.
+    const std::string tenantCompleted =
+        "serve." + cfg.tenants[0].name + ".completed";
+    EXPECT_EQ(s.get(tenantCompleted),
+              static_cast<double>(r.segmentsCompleted));
+}
+
+TEST(ServeSchedulerTest, SameSeedServeRunsAreByteIdentical)
+{
+    const auto runOnce = [] {
+        cpu::Machine machine(serveMachine());
+        ServeConfig cfg = cappedConfig(8);
+        cfg.tenants = {smallOlap(32)};
+        TenantConfig oltp;
+        oltp.name = "oltp";
+        oltp.cls = TenantClass::OltpLatency;
+        oltp.oltpInterArrival = Tick{50000};
+        cfg.horizon = Tick{2000000};
+        cfg.maxSegmentsPerGroup = 0;
+        cfg.tenants.push_back(oltp);
+        ServeScheduler sched(machine, placedDb(), cfg);
+        const ServeResult r = sched.run();
+        std::ostringstream os;
+        util::writeStatsJson(os, r.run.stats, "serve", r.run.ticks);
+        return os.str();
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+} // namespace
+} // namespace rcnvm::olxp::serve
