@@ -1,0 +1,22 @@
+// lint-as: src/mem/bad_raw_clock_param.hh
+//
+// RL002 known-bad: new signatures in src/{mem,sim,cpu} must not
+// take raw wide integers where the name says tick/cycle/row/col —
+// the typed vocabulary (Tick, CpuCycles, MemCycles, RowAddr,
+// ColAddr) cannot be opted out of.
+#include <cstdint>
+
+namespace rcnvm::mem {
+
+void issueAt(std::uint64_t tick); // expect[RL002]
+
+// Both parameters below are raw and must each be flagged.
+void convert(std::uint64_t row, // expect[RL002]
+             unsigned long long col_addr); // expect[RL002]
+
+struct Controller {
+    void setRefreshPeriod(std::uint64_t cycles) const; // expect[RL002]
+    std::uint64_t busyUntilTick; // member, not a parameter: clean
+};
+
+} // namespace rcnvm::mem

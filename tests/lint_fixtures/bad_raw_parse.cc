@@ -1,0 +1,21 @@
+// lint-as: bench/bad_raw_parse.cc
+//
+// RL004 known-bad: direct raw-parse calls outside src/util. The
+// repo's one strict parser is util::parseUint64 (PR 8); everything
+// else silently accepts garbage ("12abc", overflow, empty).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+int
+parseArgs(const char *arg, const std::string &env)
+{
+    int threads = atoi(arg); // expect[RL004]
+    int seed = std::stoi(env); // expect[RL004]
+    unsigned hex = 0;
+    sscanf(arg, "%x", &hex); // expect[RL004]
+    char *end = nullptr;
+    // rcnvm-lint: parse-ok (demonstrates the escape hatch)
+    auto raw = strtoull(arg, &end, 10);
+    return threads + seed + static_cast<int>(hex + raw);
+}

@@ -1,0 +1,24 @@
+// lint-as: src/olxp/bad_ref_capture.cc
+//
+// RL003 known-bad: lambdas scheduled on the event queue (or posted
+// to a shard mailbox) capturing locals by reference. The slab queue
+// outlives any enclosing scope, so these dangle.
+struct EventQueue {
+    template <typename F> void schedule(unsigned long when, F cb);
+    template <typename F> void scheduleAfter(unsigned long d, F cb);
+};
+
+struct ShardMailbox {
+    template <typename F>
+    void post(unsigned long when, unsigned long st,
+              unsigned long st2, F cb);
+};
+
+void
+scheduleWithDanglingCaptures(EventQueue &eq, ShardMailbox &mb)
+{
+    int local = 0;
+    eq.schedule(100, [&] { ++local; }); // expect[RL003]
+    eq.scheduleAfter(5, [&local] { ++local; }); // expect[RL003]
+    mb.post(100, 90, 80, [&local] { ++local; }); // expect[RL003]
+}

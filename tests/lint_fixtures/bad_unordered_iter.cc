@@ -1,0 +1,49 @@
+// lint-as: src/sim/bad_unordered_iter.cc
+//
+// RL001 known-bad: iteration over unordered (and pointer-keyed)
+// containers whose bodies reach order-sensitive sinks. Fixtures are
+// linted, never compiled, so declarations are minimal sketches.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Registry {
+    void add(const char *name, double v);
+    void set(const char *name, double v);
+};
+
+struct EventQueue {
+    template <typename F> void schedule(unsigned long when, F cb);
+};
+
+void
+statsFromUnordered(std::unordered_map<int, int> &m, Registry &r)
+{
+    for (const auto &kv : m) { // expect[RL001]
+        r.add("sim.value", static_cast<double>(kv.second));
+    }
+}
+
+using BankIndex = std::unordered_map<void *, int>;
+
+void
+scheduleFromAlias(BankIndex &banks, EventQueue &eq)
+{
+    for (auto &kv : banks) // expect[RL001]
+        eq.schedule(10, [v = kv.second] { (void)v; });
+}
+
+void
+insertFromPointerKeyedMap(std::map<int *, int> &pm,
+                          std::vector<int> &out)
+{
+    for (auto &kv : pm) // expect[RL001]
+        out.push_back(kv.second);
+}
+
+void
+iteratorStyleLoop(std::unordered_map<int, int> &m, Registry &r)
+{
+    for (auto it = m.begin(); it != m.end(); ++it) // expect[RL001]
+        r.set("sim.other", static_cast<double>(it->second));
+}

@@ -1,0 +1,35 @@
+// lint-as: src/olxp/good_captures.cc
+//
+// RL003 known-good: this/value/move captures into scheduled
+// lambdas, by-reference lambdas handed to non-scheduling calls
+// (executed synchronously, no lifetime hazard), and the
+// `capture-ok` escape hatch.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+struct EventQueue {
+    template <typename F> void schedule(unsigned long when, F cb);
+};
+
+struct Service {
+    EventQueue &eq;
+    std::vector<int> pending;
+
+    void
+    dispatch(std::vector<int> batch)
+    {
+        eq.schedule(10, [this] { drain(); });
+        eq.schedule(20, [this, b = std::move(batch)] { use(b); });
+        int total = 0;
+        std::for_each(pending.begin(), pending.end(),
+                      [&total](int x) { total += x; });
+        // rcnvm-lint: capture-ok (total outlives the drain below)
+        eq.schedule(30, [&total] { ++total; });
+        drainNow();
+    }
+
+    void drain();
+    void drainNow();
+    void use(const std::vector<int> &b);
+};

@@ -1,0 +1,49 @@
+// lint-as: src/sim/good_iteration.cc
+//
+// RL001 known-good: order-independent bodies, ordered containers,
+// and the `ordered-ok` escape hatch must all stay clean.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Registry {
+    void add(const char *name, double v);
+};
+
+void
+orderIndependentBody(std::unordered_map<int, int> &m)
+{
+    for (auto &kv : m)
+        ++kv.second; // no order-sensitive sink
+}
+
+void
+collectThenSort(std::unordered_map<int, int> &m, Registry &r)
+{
+    std::vector<int> keys;
+    // rcnvm-lint: ordered-ok (keys are sorted before use below)
+    for (const auto &kv : m)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (int k : keys)
+        r.add("sim.sorted", static_cast<double>(k));
+}
+
+void
+orderedMapIsFine(std::map<int, int> &ordered, Registry &r)
+{
+    // Value-keyed ordered map: iteration order is the key order.
+    // (Named distinctly from the unordered params above: the check
+    // resolves names per file, not per scope, so reusing a name
+    // that is unordered elsewhere in the file would flag here too.)
+    for (const auto &kv : ordered)
+        r.add("sim.ordered", static_cast<double>(kv.second));
+}
+
+void
+vectorIsFine(std::vector<int> &v, std::vector<int> &out)
+{
+    for (int x : v)
+        out.push_back(x);
+}

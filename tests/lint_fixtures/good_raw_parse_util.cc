@@ -1,0 +1,15 @@
+// lint-as: src/util/good_raw_parse_util.cc
+//
+// RL004 known-good: src/util is where the strict parser wraps the
+// raw primitives, so raw-parse calls are legal here.
+#include <cstdlib>
+
+namespace rcnvm::util {
+
+unsigned long long
+parseBody(const char *text, char **end)
+{
+    return strtoull(text, end, 10); // inside src/util: clean
+}
+
+} // namespace rcnvm::util

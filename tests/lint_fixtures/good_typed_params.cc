@@ -1,0 +1,27 @@
+// lint-as: src/mem/good_typed_params.cc
+//
+// RL002 known-good: typed parameters, identifier families the check
+// must exempt (row_id is a remap-table identity, not an address),
+// call sites, and the `raw-ok` escape hatch.
+#include <cstdint>
+
+namespace rcnvm::mem {
+
+struct Tick {
+    std::uint64_t v;
+};
+
+void issueAt(Tick when);                  // typed: clean
+void touchNear(std::uint64_t row_id);     // identity, not address
+void resize(std::uint64_t count);         // no clock/orient name
+// rcnvm-lint: raw-ok (mirrors an external trace-format field)
+void legacyEntry(std::uint64_t tick);
+
+void
+caller()
+{
+    issueAt(Tick{std::uint64_t{7}}); // call site, not a declarator
+    touchNear(std::uint64_t{3});
+}
+
+} // namespace rcnvm::mem

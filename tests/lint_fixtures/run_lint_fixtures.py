@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Fixture suite for rcnvm-lint (ctest -L static_checks).
+
+Three layers, mirroring how the tool is used:
+
+1. Per-file fixtures: every ``*.cc`` in this directory is linted
+   under the virtual path from its ``// lint-as:`` header, and the
+   emitted diagnostics must match the ``expect[RLxxx]`` markers
+   exactly — same line, same check ID, nothing extra, nothing
+   missing. ``bad_*`` fixtures must exit 1, ``good_*`` must exit 0,
+   which also proves every suppression pragma works.
+
+2. Stat mini-repo: ``stat_repo/`` is linted with ``--root`` and must
+   report exactly the known-unknown statistic names (registration
+   shapes, fan-out/prefix/suffix resolution, DESIGN.md table
+   parsing, file-local exemption).
+
+3. Baseline mechanics: ``--update-baseline`` over a known-bad
+   fixture followed by ``--baseline`` must suppress every finding
+   and flip the exit code to 0.
+
+Usage: run_lint_fixtures.py <rcnvm_lint-binary> <fixtures-dir>
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+DIAG = re.compile(r"^(.*):(\d+):(\d+): (RL\d{3}): ")
+EXPECT = re.compile(r"expect\[(RL\d{3})\]")
+LINT_AS = re.compile(r"^//\s*lint-as:\s*(\S+)")
+
+STAT_REPO_UNKNOWNS = {
+    "mem.misses",   # src formula body lookup
+    "mem.writes",   # bench lookup
+    "serve.oops",   # bench lookup, get() accessor
+    "mem.bogus2",   # DESIGN.md 4c table, brace-expanded
+}
+
+failures = []
+
+
+def run(binary, args):
+    proc = subprocess.run(
+        [binary] + args, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True
+    )
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG.match(line)
+        if m:
+            diags.append((int(m.group(2)), m.group(4)))
+    return proc.returncode, diags, proc.stdout
+
+
+def check(cond, what, detail=""):
+    if cond:
+        print("PASS %s" % what)
+    else:
+        failures.append(what)
+        print("FAIL %s\n%s" % (what, detail))
+
+
+def fixture_expectations(path):
+    expected = []
+    for lineno, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        for m in EXPECT.finditer(line):
+            expected.append((lineno, m.group(1)))
+    return sorted(expected)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    binary = sys.argv[1]
+    fixtures = pathlib.Path(sys.argv[2])
+
+    for path in sorted(fixtures.glob("*.cc")):
+        first = path.read_text().splitlines()[0]
+        m = LINT_AS.match(first)
+        virtual = m.group(1) if m else "src/" + path.name
+        code, diags, out = run(
+            binary, ["--as", virtual, str(path)]
+        )
+        expected = fixture_expectations(path)
+        check(
+            sorted(diags) == expected,
+            "%s diagnostics" % path.name,
+            "expected %r\n     got %r\noutput:\n%s"
+            % (expected, sorted(diags), out),
+        )
+        check(
+            code == (1 if expected else 0),
+            "%s exit code" % path.name,
+            "expected %d, got %d" % (1 if expected else 0, code),
+        )
+
+    # Stat-name mini-repo: exact unknown set, all RL005.
+    code, diags, out = run(
+        binary, ["--root", str(fixtures / "stat_repo")]
+    )
+    names = set(re.findall(r"unknown stat '([^']+)'", out))
+    check(
+        names == STAT_REPO_UNKNOWNS
+        and all(d[1] == "RL005" for d in diags)
+        and len(diags) == len(STAT_REPO_UNKNOWNS),
+        "stat_repo unknown set",
+        "expected %r\n     got %r\noutput:\n%s"
+        % (STAT_REPO_UNKNOWNS, names, out),
+    )
+    check(code == 1, "stat_repo exit code",
+          "expected 1, got %d" % code)
+
+    # Baseline mechanics on a known-bad fixture.
+    bad = fixtures / "bad_raw_parse.cc"
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".baseline", delete=False
+    ) as tmp:
+        baseline = tmp.name
+    code, _, out = run(
+        binary,
+        ["--as", "bench/bad_raw_parse.cc", "--update-baseline",
+         baseline, str(bad)],
+    )
+    check(code == 0, "baseline update exit code",
+          "expected 0, got %d\n%s" % (code, out))
+    code, diags, out = run(
+        binary,
+        ["--as", "bench/bad_raw_parse.cc", "--baseline", baseline,
+         str(bad)],
+    )
+    check(
+        code == 0 and not diags,
+        "baselined run is clean",
+        "exit %d, diags %r\noutput:\n%s" % (code, diags, out),
+    )
+    # A baselined run must still fail on a NEW finding: lint the
+    # same file under a different path so every key misses.
+    code, diags, _ = run(
+        binary,
+        ["--as", "bench/other.cc", "--baseline", baseline,
+         str(bad)],
+    )
+    check(
+        code == 1 and diags,
+        "new findings escape the baseline",
+        "exit %d, diags %r" % (code, diags),
+    )
+    pathlib.Path(baseline).unlink()
+
+    if failures:
+        print("\n%d fixture check(s) failed" % len(failures))
+        return 1
+    print("\nall lint fixture checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

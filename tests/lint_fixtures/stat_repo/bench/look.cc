@@ -1,0 +1,23 @@
+// RL005 fixture mini-repo, consumer side. The first four lookups
+// resolve (literal, sampled fan-out, prefix family, base+suffix);
+// the last two are unknown. A file-local registration may be
+// consumed in the same file without a src/ counterpart.
+struct StatsMap;
+
+void
+report(const StatsMap &m)
+{
+    print(m.at("mem.reads"));
+    print(m.at("mem.queueDepth.max"));
+    print(m.at("cpu.core0.stalls"));
+    print(m.at("serve.oltpLatencyP99"));
+    print(m.at("mem.writes"));  // unknown
+    print(m.get("serve.oops")); // unknown
+}
+
+void
+localRegistryMechanics(Registry &g)
+{
+    g.addCounter("loc.hits", 0);
+    print(g.at("loc.hits")); // file-local: exempt
+}

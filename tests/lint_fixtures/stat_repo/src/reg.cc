@@ -1,0 +1,20 @@
+// RL005 fixture mini-repo, registration side. Exercises every
+// registration shape the check must understand: plain literals,
+// dynamic families with a literal prefix, dynamic bases with a
+// literal suffix, sampled fan-out, and a formula body consuming an
+// unknown input (the one src-side finding).
+struct Registry;
+
+void
+wire(Registry &g)
+{
+    g.addCounter("mem.reads", 0);
+    g.add("mem.busUtilization", 0.5);
+    g.addSampled("mem.queueDepth", 0);
+    g.addCounter("cpu.core" + std::to_string(3) + ".stalls", 0);
+    g.addCounter("serve.oltp", 0);
+    g.addHistogram(className + "LatencyP99", 0);
+    g.addFormula("mem.missRate", [&g] {
+        return g.counter("mem.misses"); // unknown: src-side lookup
+    });
+}

@@ -1,208 +1,51 @@
 #!/usr/bin/env python3
-"""Stat-name lint: every statistic a consumer looks up must exist.
+"""Stat-name lint: thin wrapper over ``rcnvm_lint --stat-names-only``.
 
-DESIGN.md 4c made ``StatsMap::at`` throw on unknown names so a
-renamed statistic fails loudly at run time; this lint moves the same
-failure to CI time, and catches the consumers ``at`` cannot protect
-(``get`` silently reads 0.0, the DESIGN.md table silently rots).
+The original Python implementation of this check (every statistic a
+consumer looks up must resolve against a registration — see
+DESIGN.md 4c for the rationale and DESIGN.md 4j for the check's
+semantics) was ported into the rcnvm-lint binary as its RL005 check,
+where it shares the C++ tokenizer with the other four checks instead
+of re-deriving string extraction with regexes. This wrapper keeps the
+historical entry point alive for CI configs and habits: it locates
+(building if necessary) the binary and delegates.
 
-Registration side (src/): string literals in the first argument of
-``set``/``add``/``addCounter``/``addCounterFn``/``addValue``/
-``addSampled``/``addHistogram``/``addGauge``/``addFormula``.
-A concatenated first argument ("cpu.core" + std::to_string(c) + ...)
-registers its leading literal as a *prefix*. Sampled and histogram
-registrations fan out to dotted sub-entries at snapshot time, so a
-lookup also passes when a registered name is its dot-boundary prefix.
-
-Consumer side: string literals passed to ``get``/``at``/``counter``
-in bench/ and tests/, plus every backticked dotted name in the
-DESIGN.md 4c statistics table (with {a,b} brace alternation expanded
-and <i> placeholders skipped).
-
-src/ is a consumer too: derived-formula bodies and cross-tier
-re-exports look up other statistics by name (``g.counter(...)``
-inside an ``addFormula``, the hybrid tier's ``tier.near.*`` counters
-reading the near device's ``mem.*`` map). Those lookups are
-collected with the wider accessor set ``get``/``at``/``counter``/
-``sampled``/``histogram``/``value`` and must resolve against the
-registrations like any bench-side lookup — a formula referencing a
-renamed input would otherwise silently evaluate over 0.0.
-
-Exit status: 0 when every consumed name resolves, 1 otherwise with
-one line per unknown name.
+Exit status is the binary's: 0 when every consumed name resolves,
+1 otherwise with one RL005 line per unknown name.
 """
 
+import os
 import pathlib
-import re
+import shutil
+import subprocess
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-REGISTER_FNS = (
-    "set|add|addCounter|addCounterFn|addValue|addSampled|"
-    "addHistogram|addGauge|addFormula"
-)
-LOOKUP_FNS = "get|at|counter"
-# src-side formula bodies reach inputs through the typed accessors
-# as well; the wider set only applies where registrations also live.
-SRC_LOOKUP_FNS = "get|at|counter|sampled|histogram|value"
 
-LITERAL_REG = re.compile(
-    r"\b(?:%s)\(\s*\"([^\"]+)\"\s*[,)]" % REGISTER_FNS
-)
-PREFIX_REG = re.compile(r"\b(?:%s)\(\s*\"([^\"]+)\"\s*\+" % REGISTER_FNS)
-# name + "Suffix" in first-arg position: the base is dynamic but the
-# trailing literal is a known family suffix (…LatencyP99 style).
-SUFFIX_REG = re.compile(
-    r"\b(?:%s)\(\s*\w+\s*\+\s*\"([^\"]+)\"\s*[,)]" % REGISTER_FNS
-)
-LOOKUP = re.compile(r"\b(?:%s)\(\s*\"([^\"]+)\"\s*[,)]" % LOOKUP_FNS)
-SRC_LOOKUP = re.compile(
-    r"\b(?:%s)\(\s*\"([^\"]+)\"\s*[,)]" % SRC_LOOKUP_FNS
-)
-
-# Dotted names only: plain words ("hits", "g") are local test
-# registries exercising the registry itself, not simulator contract.
-DOTTED = re.compile(r"^[a-zA-Z0-9_]+(\.[a-zA-Z0-9_]+)+$")
+def find_or_build_binary() -> pathlib.Path:
+    # Any configured build tree will do; prefer the conventional one.
+    candidates = [ROOT / "build" / "tools" / "rcnvm_lint"]
+    candidates += sorted(ROOT.glob("build*/tools/rcnvm_lint"))
+    for c in candidates:
+        if c.is_file() and os.access(c, os.X_OK):
+            return c
+    bdir = ROOT / "build"
+    if shutil.which("cmake") is None:
+        sys.exit("lint_stat_names: no rcnvm_lint binary and no cmake "
+                 "to build one; build the tree first")
+    subprocess.run(["cmake", "-B", str(bdir), "-S", str(ROOT)],
+                   check=True, stdout=subprocess.DEVNULL)
+    subprocess.run(["cmake", "--build", str(bdir),
+                    "--target", "rcnvm_lint", "-j"], check=True)
+    return bdir / "tools" / "rcnvm_lint"
 
 
-def cpp_sources(*dirs):
-    for d in dirs:
-        for p in sorted((ROOT / d).rglob("*.cc")):
-            yield p
-        for p in sorted((ROOT / d).rglob("*.hh")):
-            yield p
-
-
-def collect_registrations():
-    names, prefixes, suffixes = set(), set(), set()
-    for path in cpp_sources("src"):
-        text = path.read_text()
-        names.update(LITERAL_REG.findall(text))
-        prefixes.update(PREFIX_REG.findall(text))
-        suffixes.update(SUFFIX_REG.findall(text))
-    return names, prefixes, suffixes
-
-
-def collect_code_lookups():
-    found = {}
-    for path in cpp_sources("bench", "tests"):
-        text = path.read_text()
-        # A test that registers its own local names (registry
-        # mechanics tests) may consume those names in the same file.
-        local = set(LITERAL_REG.findall(text))
-        for m in LOOKUP.finditer(text):
-            name = m.group(1)
-            if name in local or any(
-                name.startswith(n + ".") for n in local
-            ):
-                continue
-            line = text.count("\n", 0, m.start()) + 1
-            found.setdefault(name, []).append(
-                "%s:%d" % (path.relative_to(ROOT), line)
-            )
-    return found
-
-
-def collect_src_lookups():
-    """Formula bodies and re-export lambdas under src/ consuming
-    other registered statistics by literal name."""
-    found = {}
-    for path in cpp_sources("src"):
-        text = path.read_text()
-        for m in SRC_LOOKUP.finditer(text):
-            name = m.group(1)
-            line = text.count("\n", 0, m.start()) + 1
-            found.setdefault(name, []).append(
-                "%s:%d" % (path.relative_to(ROOT), line)
-            )
-    return found
-
-
-def expand_braces(token):
-    m = re.search(r"\{([^}]*)\}", token)
-    if not m:
-        return [token]
-    head, tail = token[: m.start()], token[m.end() :]
-    out = []
-    for alt in m.group(1).split(","):
-        out.extend(expand_braces(head + alt.strip() + tail))
-    return out
-
-
-def collect_design_lookups():
-    design = ROOT / "DESIGN.md"
-    text = design.read_text()
-    m = re.search(r"^## 4c\..*?(?=^## )", text, re.S | re.M)
-    if not m:
-        return {}
-    found = {}
-    start = text.count("\n", 0, m.start())
-    for offset, line in enumerate(m.group(0).splitlines()):
-        if not line.lstrip().startswith("|"):
-            continue
-        for token in re.findall(r"`([^`]+)`", line):
-            if "<" in token or token.startswith("."):
-                continue  # `.b<i>`-style placeholders
-            for name in expand_braces(token):
-                if DOTTED.match(name):
-                    found.setdefault(name, []).append(
-                        "DESIGN.md:%d" % (start + offset + 1)
-                    )
-    return found
-
-
-def resolves(name, names, prefixes, suffixes):
-    if name in names:
-        return True
-    # Sampled/histogram snapshot fan-out: registered name is a
-    # dot-boundary prefix of the consumed one.
-    for n in names:
-        if name.startswith(n + "."):
-            return True
-    # base + "Suffix" registrations whose base is itself registered.
-    for n in names:
-        for suf in suffixes:
-            if name == n + suf:
-                return True
-    # Dynamically-built families ("cpu.core" + i + ...).
-    return any(name.startswith(p) for p in prefixes)
-
-
-def main():
-    names, prefixes, suffixes = collect_registrations()
-    if not names:
-        print("lint_stat_names: no registrations found under src/")
-        return 1
-
-    consumed = collect_code_lookups()
-    for name, sites in collect_src_lookups().items():
-        consumed.setdefault(name, []).extend(sites)
-    for name, sites in collect_design_lookups().items():
-        consumed.setdefault(name, []).extend(sites)
-
-    unknown = []
-    for name in sorted(consumed):
-        if not DOTTED.match(name):
-            continue
-        if not resolves(name, names, prefixes, suffixes):
-            unknown.append(name)
-
-    if unknown:
-        for name in unknown:
-            sites = ", ".join(consumed[name][:3])
-            print("unknown stat %r consumed at %s" % (name, sites))
-        print(
-            "lint_stat_names: %d unknown name(s); registered: %d"
-            % (len(unknown), len(names))
-        )
-        return 1
-
-    print(
-        "lint_stat_names: %d consumed names resolve against %d "
-        "registrations" % (len(consumed), len(names))
-    )
-    return 0
+def main() -> int:
+    binary = find_or_build_binary()
+    return subprocess.run(
+        [str(binary), "--stat-names-only", "--root", str(ROOT)]
+    ).returncode
 
 
 if __name__ == "__main__":

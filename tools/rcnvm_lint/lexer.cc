@@ -1,0 +1,301 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace rcnvm::lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+tagChar(char c)
+{
+    return std::islower(static_cast<unsigned char>(c)) ||
+           std::isdigit(static_cast<unsigned char>(c)) || c == '-';
+}
+
+/** Raw-string prefixes: the identifier token directly adjacent to a
+ *  double quote that turns it into R"delim(...)delim". */
+bool
+rawStringPrefix(const std::string &s)
+{
+    return s == "R" || s == "u8R" || s == "uR" || s == "UR" ||
+           s == "LR";
+}
+
+class Lexer
+{
+  public:
+    Lexer(const std::string &text, const std::string &path)
+        : text_(text)
+    {
+        out_.path = path;
+    }
+
+    SourceFile run();
+
+  private:
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead]
+                                           : '\0';
+    }
+
+    char get()
+    {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+            atLineStart_ = true;
+        } else {
+            ++col_;
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                atLineStart_ = false;
+        }
+        return c;
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+
+    void push(Tok kind, std::string text, int line, int col)
+    {
+        out_.toks.push_back(
+            Token{kind, std::move(text), line, col});
+    }
+
+    void lexComment(bool block);
+    void lexString(char quote);
+    void lexRawString();
+    void skipPreprocessor();
+    void minePragmas(const std::string &comment, int line);
+
+    const std::string &text_;
+    SourceFile out_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    bool atLineStart_ = true;
+};
+
+void
+Lexer::minePragmas(const std::string &comment, int line)
+{
+    const std::string marker = "rcnvm-lint:";
+    std::size_t at = comment.find(marker);
+    if (at == std::string::npos)
+        return;
+    std::istringstream rest(comment.substr(at + marker.size()));
+    std::string word;
+    auto &tags = out_.pragmas[line];
+    while (rest >> word) {
+        bool ok = !word.empty();
+        for (char c : word)
+            ok = ok && tagChar(c);
+        if (!ok)
+            break; // prose after the tags ("(safe: ...)")
+        tags.push_back(word);
+    }
+}
+
+void
+Lexer::lexComment(bool block)
+{
+    const int start = line_;
+    std::string body;
+    if (block) {
+        while (!eof()) {
+            if (peek() == '*' && peek(1) == '/') {
+                get();
+                get();
+                break;
+            }
+            body.push_back(get());
+        }
+    } else {
+        while (!eof() && peek() != '\n')
+            body.push_back(get());
+    }
+    minePragmas(body, start);
+}
+
+void
+Lexer::lexString(char quote)
+{
+    const int l = line_, c = col_ - 1;
+    std::string body;
+    while (!eof()) {
+        char ch = get();
+        if (ch == '\\' && !eof()) {
+            body.push_back(ch);
+            body.push_back(get());
+            continue;
+        }
+        if (ch == quote)
+            break;
+        if (ch == '\n')
+            break; // unterminated; recover at the newline
+        body.push_back(ch);
+    }
+    push(quote == '"' ? Tok::Str : Tok::Chr, std::move(body), l, c);
+}
+
+void
+Lexer::lexRawString()
+{
+    // At entry the opening '"' of R"delim( has been consumed.
+    const int l = line_, c = col_;
+    std::string delim;
+    while (!eof() && peek() != '(')
+        delim.push_back(get());
+    if (!eof())
+        get(); // '('
+    const std::string close = ")" + delim + "\"";
+    std::string body;
+    while (!eof()) {
+        if (text_.compare(pos_, close.size(), close) == 0) {
+            for (std::size_t i = 0; i < close.size(); ++i)
+                get();
+            break;
+        }
+        body.push_back(get());
+    }
+    push(Tok::Str, std::move(body), l, c);
+}
+
+void
+Lexer::skipPreprocessor()
+{
+    // Consume to end of line, honouring backslash continuations.
+    while (!eof()) {
+        char c = get();
+        if (c == '\\' && peek() == '\n') {
+            get();
+            continue;
+        }
+        if (c == '\n')
+            return;
+    }
+}
+
+SourceFile
+Lexer::run()
+{
+    while (!eof()) {
+        char c = peek();
+        if (c == '#' && atLineStart_) {
+            skipPreprocessor();
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            get();
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            get();
+            get();
+            lexComment(false);
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            get();
+            get();
+            lexComment(true);
+            continue;
+        }
+        const int l = line_, co = col_;
+        if (c == '"') {
+            get();
+            lexString('"');
+            continue;
+        }
+        if (c == '\'') {
+            get();
+            lexString('\'');
+            continue;
+        }
+        if (identStart(c)) {
+            std::string word;
+            while (!eof() && identChar(peek()))
+                word.push_back(get());
+            if (rawStringPrefix(word) && peek() == '"') {
+                get();
+                lexRawString();
+                continue;
+            }
+            push(Tok::Ident, std::move(word), l, co);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string num;
+            while (!eof() &&
+                   (identChar(peek()) || peek() == '.' ||
+                    ((peek() == '+' || peek() == '-') && !num.empty() &&
+                     (num.back() == 'e' || num.back() == 'E' ||
+                      num.back() == 'p' || num.back() == 'P')))) {
+                num.push_back(get());
+            }
+            push(Tok::Number, std::move(num), l, co);
+            continue;
+        }
+        if (c == ':' && peek(1) == ':') {
+            get();
+            get();
+            push(Tok::Punct, "::", l, co);
+            continue;
+        }
+        get();
+        push(Tok::Punct, std::string(1, c), l, co);
+    }
+    return std::move(out_);
+}
+
+} // namespace
+
+bool
+SourceFile::suppressed(int line, const std::string &tag) const
+{
+    for (int l : {line, line - 1}) {
+        auto it = pragmas.find(l);
+        if (it == pragmas.end())
+            continue;
+        for (const auto &t : it->second) {
+            if (t == tag)
+                return true;
+        }
+    }
+    return false;
+}
+
+SourceFile
+lexString(const std::string &text, const std::string &display_path)
+{
+    return Lexer(text, display_path).run();
+}
+
+bool
+readFile(const std::string &fs_path, std::string &out)
+{
+    std::ifstream in(fs_path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace rcnvm::lint

@@ -1,0 +1,68 @@
+/**
+ * rcnvm-lint: self-contained C++ tokenizer.
+ *
+ * The lint checks (checks.hh) are written against this token stream
+ * plus a small amount of structural recovery (balanced parens,
+ * braces, template angles) rather than a full AST. The container and
+ * CI base images guarantee only g++ — no clang development headers —
+ * so the tool carries its own frontend; the checks consume a narrow
+ * "facts" surface (identifier/punct/string tokens with positions,
+ * suppression pragmas per line) that a clang libTooling frontend can
+ * populate instead wherever libclang-dev exists, without touching
+ * the check logic.
+ *
+ * The lexer understands exactly what the checks need: line and block
+ * comments (mined for `rcnvm-lint: <tag>` suppression pragmas),
+ * string/char literals including raw strings (so identifier-like
+ * text inside them never matches a check), preprocessor lines
+ * (skipped wholesale, including continuations), and `::` as one
+ * token (so a lone `:` inside a for-header reliably signals a
+ * range-for).
+ */
+#ifndef RCNVM_TOOLS_LINT_LEXER_HH_
+#define RCNVM_TOOLS_LINT_LEXER_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rcnvm::lint {
+
+enum class Tok {
+    Ident,  //!< identifier or keyword
+    Punct,  //!< single punctuator, or the combined "::"
+    Number, //!< numeric literal (pp-number, loosely)
+    Str,    //!< string literal, text is the raw body
+    Chr,    //!< character literal
+};
+
+struct Token {
+    Tok kind;
+    std::string text;
+    int line = 0; //!< 1-based
+    int col = 0;  //!< 1-based
+};
+
+struct SourceFile {
+    /** Path used for diagnostics and path-scoped checks. Repo mode
+     *  sets it relative to the root; fixture mode sets it from
+     *  --as so a snippet can be linted as-if it lived in src/mem. */
+    std::string path;
+    std::vector<Token> toks;
+    /** line -> suppression tags from `rcnvm-lint: <tag>` comments. */
+    std::map<int, std::vector<std::string>> pragmas;
+
+    /** True when @p tag appears on @p line or the line above it. */
+    bool suppressed(int line, const std::string &tag) const;
+};
+
+/** Tokenize @p text, reporting diagnostics against @p display_path. */
+SourceFile lexString(const std::string &text,
+                     const std::string &display_path);
+
+/** Read @p fs_path into @p out; false (with no throw) on failure. */
+bool readFile(const std::string &fs_path, std::string &out);
+
+} // namespace rcnvm::lint
+
+#endif // RCNVM_TOOLS_LINT_LEXER_HH_

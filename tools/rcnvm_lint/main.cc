@@ -1,0 +1,332 @@
+/**
+ * rcnvm-lint — repo-specific static analysis for the RC-NVM
+ * simulator (see checks.hh for the check catalogue, DESIGN.md §4j
+ * for the policy).
+ *
+ * Repo mode (CI gate):
+ *   rcnvm_lint --root <repo> [--baseline <file>]
+ * scans src/, bench/, tools/, examples/ with RL001–RL004, collects
+ * the RL005 stat-name corpus from src/ + bench/ + tests/ +
+ * DESIGN.md, and exits 1 on any finding not in the baseline.
+ *
+ * File mode (fixtures, editors):
+ *   rcnvm_lint [--as <virtual-path>] <file> [...]
+ * runs RL001–RL004 per file; --as makes a snippet lint as-if it
+ * lived at that repo-relative path (path-scoped checks).
+ *
+ * Baselines hold one finding key per line (RLxxx|path|salient);
+ * --update-baseline writes the current findings, the run gate then
+ * tracks legacy findings without letting new ones in.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checks.hh"
+#include "lexer.hh"
+
+namespace fs = std::filesystem;
+using rcnvm::lint::Diag;
+using rcnvm::lint::SourceFile;
+using rcnvm::lint::StatNameCheck;
+
+namespace {
+
+struct Options {
+    std::string root;
+    std::string baseline;
+    std::string updateBaseline;
+    bool statNamesOnly = false;
+    bool listChecks = false;
+    /** (virtual display path or empty, filesystem path) pairs. */
+    std::vector<std::pair<std::string, std::string>> files;
+};
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --root DIR [--baseline FILE] "
+        "[--update-baseline FILE] [--stat-names-only]\n"
+        "       %s [--as VIRTUAL_PATH] FILE [[--as VP2] FILE2 ...]\n"
+        "       %s --list-checks\n",
+        argv0, argv0, argv0);
+    return code;
+}
+
+bool
+isCppSource(const fs::path &p)
+{
+    return p.extension() == ".cc" || p.extension() == ".hh";
+}
+
+/** Repo files for a subtree, sorted, fixture corpora excluded (the
+ *  lint's own known-bad test snippets must not fail the repo gate). */
+std::vector<fs::path>
+treeFiles(const fs::path &root, const std::string &sub)
+{
+    std::vector<fs::path> out;
+    const fs::path dir = root / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return out;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        const fs::path &p = it->path();
+        // Exclusion is relative to the scan root: a repo scan must
+        // not eat the known-bad fixture corpus, but pointing --root
+        // AT a fixture mini-repo (the fixture suite does) works.
+        if (p.filename() == "lint_fixtures" && it->is_directory() &&
+            fs::relative(p, root) != ".") {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && isCppSource(p))
+            out.push_back(p);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+lexAt(const fs::path &fsPath, const std::string &displayPath,
+      SourceFile &out)
+{
+    std::string text;
+    if (!rcnvm::lint::readFile(fsPath.string(), text)) {
+        std::fprintf(stderr, "rcnvm-lint: cannot read %s\n",
+                     fsPath.string().c_str());
+        return false;
+    }
+    out = rcnvm::lint::lexString(text, displayPath);
+    return true;
+}
+
+std::set<std::string>
+loadBaseline(const std::string &path, bool &ok)
+{
+    std::set<std::string> keys;
+    ok = true;
+    std::ifstream in(path);
+    if (!in) {
+        ok = false;
+        return keys;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        const std::size_t last = line.find_last_not_of(" \t\r");
+        keys.insert(line.substr(first, last - first + 1));
+    }
+    return keys;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::string pendingAs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "rcnvm-lint: %s needs a value\n", flag);
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            opt.root = value("--root");
+        } else if (arg == "--baseline") {
+            opt.baseline = value("--baseline");
+        } else if (arg == "--update-baseline") {
+            opt.updateBaseline = value("--update-baseline");
+        } else if (arg == "--stat-names-only") {
+            opt.statNamesOnly = true;
+        } else if (arg == "--list-checks") {
+            opt.listChecks = true;
+        } else if (arg == "--as") {
+            pendingAs = value("--as");
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rcnvm-lint: unknown option %s\n",
+                         arg.c_str());
+            return usage(argv[0], 2);
+        } else {
+            opt.files.emplace_back(pendingAs, arg);
+            pendingAs.clear();
+        }
+    }
+
+    if (opt.listChecks) {
+        std::printf(
+            "RL001 determinism   iteration over unordered/"
+            "pointer-keyed containers feeding order-sensitive "
+            "sinks   [ordered-ok]\n"
+            "RL002 strong-types  raw uint64_t tick/cycle/row/col "
+            "parameters in src/{mem,sim,cpu}   [raw-ok]\n"
+            "RL003 event-safety  by-reference lambda captures "
+            "scheduled on the event queue   [capture-ok]\n"
+            "RL004 strict-parse  strtoull/atoi/stoi-family calls "
+            "outside src/util   [parse-ok]\n"
+            "RL005 stat-names    consumed statistic names must "
+            "resolve against src/ registrations\n");
+        return 0;
+    }
+
+    if (opt.root.empty() && opt.files.empty())
+        return usage(argv[0], 2);
+    if (opt.statNamesOnly && opt.root.empty()) {
+        std::fprintf(stderr,
+                     "rcnvm-lint: --stat-names-only needs --root\n");
+        return 2;
+    }
+
+    std::vector<Diag> diags;
+    std::size_t filesScanned = 0;
+
+    if (!opt.root.empty()) {
+        const fs::path root = opt.root;
+        StatNameCheck stats;
+        for (const char *sub : {"src", "bench", "tools", "examples",
+                                "tests"}) {
+            for (const fs::path &p : treeFiles(root, sub)) {
+                const std::string display =
+                    fs::relative(p, root).generic_string();
+                SourceFile f;
+                if (!lexAt(p, display, f))
+                    return 2;
+                ++filesScanned;
+                const bool isSrc =
+                    std::strcmp(sub, "src") == 0;
+                const bool isConsumer =
+                    std::strcmp(sub, "bench") == 0 ||
+                    std::strcmp(sub, "tests") == 0;
+                // tests/ are scanned for stat lookups only; the
+                // behavioural suite may legitimately iterate maps
+                // or death-test malformed parses.
+                if (!opt.statNamesOnly &&
+                    std::strcmp(sub, "tests") != 0)
+                    checkFile(f, diags);
+                if (isSrc)
+                    stats.addSrcFile(f);
+                else if (isConsumer)
+                    stats.addConsumerFile(f);
+            }
+        }
+        std::string design;
+        if (rcnvm::lint::readFile((root / "DESIGN.md").string(),
+                                  design))
+            stats.addDesignDoc(design);
+        if (!stats.sawRegistrations()) {
+            std::fprintf(stderr,
+                         "rcnvm-lint: no stat registrations found "
+                         "under %s/src — wrong --root?\n",
+                         opt.root.c_str());
+            return 2;
+        }
+        stats.check(diags);
+        if (opt.statNamesOnly) {
+            std::vector<Diag> only;
+            for (auto &d : diags) {
+                if (d.id == "RL005")
+                    only.push_back(std::move(d));
+            }
+            diags = std::move(only);
+        }
+    }
+
+    for (const auto &[as, path] : opt.files) {
+        const std::string display =
+            !as.empty() ? as
+                        : "src/" + fs::path(path).filename().string();
+        SourceFile f;
+        if (!lexAt(path, display, f))
+            return 2;
+        ++filesScanned;
+        checkFile(f, diags);
+    }
+
+    std::sort(diags.begin(), diags.end(),
+              [](const Diag &a, const Diag &b) {
+                  return std::tie(a.path, a.line, a.col, a.id) <
+                         std::tie(b.path, b.line, b.col, b.id);
+              });
+
+    if (!opt.updateBaseline.empty()) {
+        std::ofstream out(opt.updateBaseline);
+        out << "# rcnvm-lint baseline: one finding key per line\n"
+            << "# (check|path|salient-token — line-number free).\n"
+            << "# Regenerate: rcnvm_lint --root . "
+               "--update-baseline <this file>\n";
+        std::set<std::string> keys;
+        for (const Diag &d : diags)
+            keys.insert(d.key);
+        for (const std::string &k : keys)
+            out << k << "\n";
+        std::printf("rcnvm-lint: wrote %zu baseline key(s) to %s\n",
+                    keys.size(), opt.updateBaseline.c_str());
+        return 0;
+    }
+
+    std::set<std::string> baseline;
+    if (!opt.baseline.empty()) {
+        bool ok = false;
+        baseline = loadBaseline(opt.baseline, ok);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "rcnvm-lint: cannot read baseline %s\n",
+                         opt.baseline.c_str());
+            return 2;
+        }
+    }
+
+    std::size_t fresh = 0, suppressed = 0;
+    std::set<std::string> usedKeys;
+    for (const Diag &d : diags) {
+        if (baseline.count(d.key)) {
+            ++suppressed;
+            usedKeys.insert(d.key);
+            continue;
+        }
+        ++fresh;
+        std::printf("%s:%d:%d: %s: %s\n", d.path.c_str(), d.line,
+                    d.col, d.id.c_str(), d.msg.c_str());
+    }
+
+    std::size_t stale = 0;
+    for (const std::string &k : baseline) {
+        if (!usedKeys.count(k))
+            ++stale;
+    }
+    if (stale > 0) {
+        std::printf("rcnvm-lint: note: %zu baseline entr%s no "
+                    "longer match%s — prune the baseline\n",
+                    stale, stale == 1 ? "y" : "ies",
+                    stale == 1 ? "es" : "");
+    }
+
+    if (fresh > 0) {
+        std::printf("rcnvm-lint: %zu finding(s) (%zu baselined) "
+                    "across %zu file(s)\n",
+                    fresh, suppressed, filesScanned);
+        return 1;
+    }
+    std::printf("rcnvm-lint: clean (%zu file(s), %zu baselined "
+                "finding(s))\n",
+                filesScanned, suppressed);
+    return 0;
+}

@@ -5,7 +5,7 @@
 # -DCTEST exit codes).
 #
 # Usage: run_sanitizers.sh [mode] [build-dir]
-#   mode: asan-ubsan (default) | tsan
+#   mode: asan-ubsan (default) | tsan | integer
 #
 # tsan exists for the channel-sharded parallel engine: it rebuilds
 # with -fsanitize=thread and runs the multi-threaded tests (the
@@ -13,6 +13,18 @@
 # RCNVM_THREADS=4 so the shard synchronisation is exercised under
 # the race detector. ThreadSanitizer cannot be combined with ASan,
 # hence the separate mode and build directory.
+#
+# integer hunts silent narrowing on the Tick/Cycles/Addr arithmetic
+# paths that the strong types (DESIGN.md 4e) cannot cover — .value()
+# escapes, stat accumulation, percentile math. Under clang it uses
+# the full -fsanitize=integer,implicit-conversion groups; gcc has no
+# equivalent groups, so it falls back to the UBSan checks gcc does
+# ship (signed overflow, shift, divide, bounds). Unsigned wraparound
+# is defined behaviour that the clang groups nevertheless report, so
+# this mode is NON-GATING by default: it always prints its summary
+# but only fails the run when RCNVM_UBSAN_INT_GATE=1 is set. CI runs
+# it report-only until the clang findings are triaged; flip the gate
+# on once the report is clean.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
@@ -60,8 +72,50 @@ tsan)
     RCNVM_THREADS=4 \
         ctest --test-dir "$bdir" --output-on-failure -j 2
     ;;
+integer)
+    bdir=${2:-"$root/build-ubsan-int"}
+
+    # Prefer clang for its integer/implicit-conversion check groups;
+    # honour an explicit CXX either way.
+    cxx=${CXX:-}
+    if [ -z "$cxx" ] && command -v clang++ >/dev/null 2>&1; then
+        cxx=clang++
+    fi
+    if [ -n "$cxx" ] && "$cxx" --version 2>/dev/null \
+            | grep -qi clang; then
+        sans="integer;implicit-conversion"
+        cxxargs="-DCMAKE_CXX_COMPILER=$cxx"
+    else
+        sans="signed-integer-overflow;shift;integer-divide-by-zero;bounds"
+        cxxargs=""
+        echo "run_sanitizers: clang++ not found; using the gcc UBSan" \
+             "subset ($sans)"
+    fi
+
+    # shellcheck disable=SC2086  # cxxargs is one optional -D flag
+    cmake -B "$bdir" -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRCNVM_SANITIZE="$sans" $cxxargs
+    cmake --build "$bdir" -j "$(nproc)"
+
+    status=0
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+        ctest --test-dir "$bdir" --output-on-failure -j "$(nproc)" \
+        || status=$?
+
+    if [ "$status" -ne 0 ]; then
+        if [ "${RCNVM_UBSAN_INT_GATE:-0}" = "1" ]; then
+            echo "run_sanitizers: integer mode found issues (gating)"
+            exit "$status"
+        fi
+        echo "run_sanitizers: integer mode found issues (NON-GATING;" \
+             "set RCNVM_UBSAN_INT_GATE=1 to make this fail the run)"
+    else
+        echo "run_sanitizers: integer mode clean ($sans)"
+    fi
+    ;;
 *)
-    echo "unknown mode '$mode' (want asan-ubsan or tsan)" >&2
+    echo "unknown mode '$mode' (want asan-ubsan, tsan or integer)" >&2
     exit 2
     ;;
 esac
